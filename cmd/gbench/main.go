@@ -1,0 +1,61 @@
+// Command gbench runs the experiment suite that reproduces the paper's
+// figures and quantitative claims (see DESIGN.md section 2 and
+// EXPERIMENTS.md). Each experiment prints one or more result tables.
+//
+// Usage:
+//
+//	gbench                     # run every experiment with full-size workloads
+//	gbench -exp chain          # run one experiment
+//	gbench -quick              # shrink workloads (seconds instead of minutes)
+//	gbench -csv                # CSV output for plotting
+//	gbench -list               # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment ID to run (default: all); see -list")
+		quick = flag.Bool("quick", false, "use reduced workloads")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		seed  = flag.Uint64("seed", 1, "base PRNG seed for generated workloads")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	reg := bench.NewRegistry()
+	if *list {
+		for _, id := range reg.IDs() {
+			e, _ := reg.Get(id)
+			fmt.Printf("%-14s %s\n", id, e.Claim)
+		}
+		return
+	}
+
+	cfg := bench.Config{Quick: *quick, Seed: *seed, CSV: *csv}
+	if *exp == "" {
+		if err := reg.RunAll(os.Stdout, cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	e, err := reg.Get(*exp)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("### experiment %s — %s\n\n", e.ID, e.Claim)
+	if err := e.Run(os.Stdout, cfg); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gbench:", err)
+	os.Exit(1)
+}

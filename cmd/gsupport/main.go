@@ -1,0 +1,121 @@
+// Command gsupport computes the support measures of a pattern in a data
+// graph. Both graphs are given as .lg files (GraMi-style text format); the
+// pattern may alternatively be one of the built-in shapes.
+//
+// Usage:
+//
+//	gsupport -graph data.lg -pattern query.lg [-measures MNI,MI,MVC]
+//	gsupport -graph data.lg -edge 1,2              # single-edge pattern
+//	gsupport -figure figure2                       # built-in paper figure
+//
+// With no -measures flag every measure is computed and the bounding chain of
+// the paper is verified.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	support "repro"
+)
+
+func main() {
+	var (
+		graphPath   = flag.String("graph", "", "path to the data graph in .lg format")
+		patternPath = flag.String("pattern", "", "path to the pattern in .lg format")
+		edgeLabels  = flag.String("edge", "", "single-edge pattern given as two comma-separated labels, e.g. 1,2")
+		figureName  = flag.String("figure", "", "use a built-in paper figure (figure1..figure10) instead of -graph/-pattern")
+		measureList = flag.String("measures", "", "comma-separated measure names (default: all); see -list")
+		list        = flag.Bool("list", false, "list available measure names and exit")
+		verify      = flag.Bool("verify", true, "verify the paper's bounding chain when all measures are computed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range support.MeasureNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	g, p, err := loadInputs(*figureName, *graphPath, *patternPath, *edgeLabels)
+	if err != nil {
+		fatal(err)
+	}
+
+	var names []string
+	if *measureList != "" {
+		names = strings.Split(*measureList, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+	}
+	ev, err := support.Evaluate(g, p, names...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("data graph: %s\npattern:    %s\n\n", g, p)
+	fmt.Print(support.FormatEvaluation(ev))
+
+	if *verify && len(names) == 0 {
+		if err := ev.VerifyBoundingChain(); err != nil {
+			fatal(fmt.Errorf("bounding chain violated: %w", err))
+		}
+		fmt.Println("\nbounding chain MIS = MIES <= nuMIES = nuMVC <= MVC <= MI <= MNI: OK")
+	}
+}
+
+// loadInputs resolves the data graph and pattern from the flag combination.
+func loadInputs(figure, graphPath, patternPath, edgeLabels string) (*support.Graph, *support.Pattern, error) {
+	if figure != "" {
+		for _, f := range support.PaperFigures() {
+			if f.Name == figure {
+				return f.Graph, f.Pattern, nil
+			}
+		}
+		return nil, nil, fmt.Errorf("unknown figure %q (try figure1..figure10)", figure)
+	}
+	if graphPath == "" {
+		return nil, nil, fmt.Errorf("either -figure or -graph is required")
+	}
+	g, err := support.LoadLGFile(graphPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch {
+	case patternPath != "":
+		pg, err := support.LoadLGFile(patternPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		p, err := support.NewPattern(pg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, p, nil
+	case edgeLabels != "":
+		parts := strings.Split(edgeLabels, ",")
+		if len(parts) != 2 {
+			return nil, nil, fmt.Errorf("-edge expects two comma-separated labels, got %q", edgeLabels)
+		}
+		a, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad label %q: %w", parts[0], err)
+		}
+		b, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad label %q: %w", parts[1], err)
+		}
+		return g, support.SingleEdgePattern(support.Label(a), support.Label(b)), nil
+	default:
+		return nil, nil, fmt.Errorf("one of -pattern or -edge is required with -graph")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gsupport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Social-network example: how much does MNI overestimate hub-centered
+// motifs, and what do the overlap-aware measures report instead?
+//
+// Social graphs have heavy-tailed degree distributions, so motifs anchored at
+// hub accounts (for example "an organization followed by two regular users")
+// have huge occurrence counts that overlap heavily on the hubs. This example
+// generates a preferential-attachment network, labels a small fraction of
+// vertices as organizations, and compares the support measures on two motifs:
+// one hub-centered and one dispersed.
+//
+// Run with:
+//
+//	go run ./examples/social
+package main
+
+import (
+	"fmt"
+	"log"
+
+	support "repro"
+)
+
+const (
+	person       = support.Label(1)
+	organization = support.Label(2)
+)
+
+func main() {
+	g := buildNetwork(400, 7)
+	fmt.Printf("social graph: %s\n", g)
+	fmt.Println()
+
+	motifs := []struct {
+		name    string
+		pattern *support.Pattern
+	}{
+		{"org followed by two people (hub-centered star)", starMotif()},
+		{"person-org tie (single edge)", support.SingleEdgePattern(person, organization)},
+	}
+
+	for _, m := range motifs {
+		ev, err := support.Evaluate(g, m.pattern,
+			support.Occurrences, support.Instances,
+			support.MNI, support.MI, support.MVCApprox, support.MIESGreedy, support.NuMVC)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("motif: %s\n", m.name)
+		fmt.Print(support.FormatEvaluation(ev))
+
+		occ, _ := ev.Value(support.Occurrences)
+		packing, _ := ev.Value(support.MIESGreedy)
+		if packing > 0 {
+			fmt.Printf("-> %.0f occurrences collapse onto roughly %.0f independent placements\n\n", occ, packing)
+		} else {
+			fmt.Println()
+		}
+	}
+
+	fmt.Println("For the hub-centered motif the occurrence count explodes combinatorially")
+	fmt.Println("around the organization hubs while every anti-monotonic measure stays near")
+	fmt.Println("the number of hubs — exactly why raw occurrence counts are unusable as a")
+	fmt.Println("support measure and why the overlap-aware measures matter on social graphs.")
+}
+
+// buildNetwork generates a preferential-attachment graph and relabels the
+// top-degree fraction of vertices as organizations.
+func buildNetwork(n int, orgs int) *support.Graph {
+	base := support.BarabasiAlbert(n, 2, 1, 42)
+	// Find the `orgs` highest-degree vertices.
+	type vd struct {
+		v support.VertexID
+		d int
+	}
+	var all []vd
+	for _, v := range base.SortedVertices() {
+		all = append(all, vd{v: v, d: base.Degree(v)})
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].d > all[i].d {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	isOrg := make(map[support.VertexID]bool, orgs)
+	for i := 0; i < orgs && i < len(all); i++ {
+		isOrg[all[i].v] = true
+	}
+	// Rebuild the graph with the two-label scheme.
+	b := support.NewGraphBuilder("social")
+	for _, v := range base.SortedVertices() {
+		label := person
+		if isOrg[v] {
+			label = organization
+		}
+		b.Vertex(v, label)
+	}
+	for _, e := range base.Edges() {
+		b.Edge(e.U, e.V)
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g
+}
+
+// starMotif returns the "organization followed by two people" pattern.
+func starMotif() *support.Pattern {
+	g, err := support.NewGraphBuilder("org-star").
+		Vertex(0, organization).Vertex(1, person).Vertex(2, person).
+		Star(0, 1, 2).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := support.NewPattern(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}

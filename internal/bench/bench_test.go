@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every registered experiment in quick mode and
+// checks that each produces non-empty tabular output and reports no
+// violations. This doubles as the integration test of the whole stack
+// (generators -> isomorphism -> hypergraphs -> measures -> miner).
+func TestAllExperimentsQuick(t *testing.T) {
+	reg := NewRegistry()
+	cfg := Config{Quick: true, Seed: 7}
+	for _, id := range reg.IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			exp, err := reg.Get(id)
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := exp.Run(&buf, cfg); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			out := buf.String()
+			if len(strings.TrimSpace(out)) == 0 {
+				t.Fatalf("experiment %s produced no output", id)
+			}
+			if strings.Contains(out, "VIOLATED") {
+				t.Errorf("experiment %s reported a violation:\n%s", id, out)
+			}
+		})
+	}
+}
+
+// TestRegistryUnknownExperiment checks the error path for unknown IDs.
+func TestRegistryUnknownExperiment(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Get("no-such-experiment"); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+// TestRunAllQuick runs the whole suite through RunAll.
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full suite in -short mode")
+	}
+	reg := NewRegistry()
+	var buf bytes.Buffer
+	if err := reg.RunAll(&buf, Config{Quick: true, Seed: 3}); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	for _, id := range reg.IDs() {
+		if !strings.Contains(buf.String(), "experiment "+id) {
+			t.Errorf("RunAll output missing experiment %s", id)
+		}
+	}
+}
+
+// TestTableRendering covers both render formats.
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("demo", "a", "b")
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("x", 3.0)
+
+	var text bytes.Buffer
+	if err := tbl.Render(&text); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(text.String(), "== demo ==") || !strings.Contains(text.String(), "2.5000") {
+		t.Errorf("unexpected text rendering:\n%s", text.String())
+	}
+	var csv bytes.Buffer
+	if err := tbl.RenderCSV(&csv); err != nil {
+		t.Fatalf("RenderCSV: %v", err)
+	}
+	if !strings.Contains(csv.String(), "a,b") || !strings.Contains(csv.String(), "x,3") {
+		t.Errorf("unexpected csv rendering:\n%s", csv.String())
+	}
+}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/measures"
+	"repro/internal/miner"
+	"repro/internal/pattern"
+)
+
+// scalingExperiment (E2) measures computation time of each measure as the
+// number of occurrences grows, on the star-overlap workload where occurrence
+// counts are directly controlled. MNI and MI scale linearly (Theorem 3.3);
+// the LP relaxations are polynomial; the exact MVC / MIES solvers are
+// exponential in the worst case and are only run on the smaller sizes.
+func scalingExperiment() Experiment {
+	return Experiment{
+		ID:    "scaling",
+		Claim: "Theorem 3.3 and Sections 3.3/4.3: MNI and MI are linear-time; exact MVC/MIES are not; LP relaxations are polynomial",
+		Run: func(w io.Writer, cfg Config) error {
+			sizes := []int{8, 16, 32, 64, 128, 256}
+			if cfg.Quick {
+				sizes = []int{8, 16, 32}
+			}
+			exactLimit := 64 // skip the exponential solvers beyond this many occurrences
+			patterns := standardPatterns()
+			t := NewTable("measure computation time vs number of occurrences (star-overlap workload, edge pattern)",
+				"occurrences", "MNI", "MI", "MVC-approx", "MIES-greedy", "nuMVC", "MVC-exact", "MIES-exact")
+			for _, hubs := range sizes {
+				// hubs hubs x 3 leaves each + 1 shared leaf => occurrences = 4*hubs.
+				g := gen.StarOverlap(hubs, 3, cfg.Seed)
+				ctx, err := core.NewContext(g, patterns["edge"], core.Options{})
+				if err != nil {
+					return err
+				}
+				row := []interface{}{ctx.NumOccurrences()}
+				timed := func(m measures.Measure) (string, error) {
+					start := time.Now()
+					if _, err := m.Compute(ctx); err != nil {
+						return "", err
+					}
+					return fmtDuration(float64(time.Since(start).Nanoseconds())), nil
+				}
+				for _, m := range []measures.Measure{
+					measures.MNI{}, measures.NewMI(),
+					measures.MVC{Approximate: true}, measures.MIES{Approximate: true},
+					measures.NuMVC{},
+				} {
+					cell, err := timed(m)
+					if err != nil {
+						return err
+					}
+					row = append(row, cell)
+				}
+				if ctx.NumOccurrences() <= exactLimit {
+					for _, m := range []measures.Measure{measures.MVC{}, measures.MIES{}} {
+						cell, err := timed(m)
+						if err != nil {
+							return err
+						}
+						row = append(row, cell)
+					}
+				} else {
+					row = append(row, "skipped", "skipped")
+				}
+				t.AddRow(row...)
+			}
+			return render(w, cfg, t)
+		},
+	}
+}
+
+// miningExperiment (E6) runs the frequent-pattern miner end to end with each
+// support measure and reports result counts, pruning statistics and runtime
+// across thresholds. Anti-monotonic pruning keeps the candidate count bounded
+// for every measure; stricter (smaller) measures report fewer frequent
+// patterns at the same threshold.
+func miningExperiment() Experiment {
+	return Experiment{
+		ID:    "mining",
+		Claim: "Chapter 1/2: anti-monotonic measures drive safe pruning in single-graph frequent pattern mining",
+		Run: func(w io.Writer, cfg Config) error {
+			n := quickInt(cfg, 50, 120)
+			g := gen.BarabasiAlbert(n, 2, gen.UniformLabels{K: 3}, cfg.Seed)
+			thresholds := []float64{2, 3, 5}
+			if cfg.Quick {
+				thresholds = []float64{3}
+			}
+			configs := []struct {
+				name    string
+				measure measures.Measure
+			}{
+				{"MNI", measures.MNI{}},
+				{"MI", measures.NewMI()},
+				{"MVC-approx", measures.MVC{Approximate: true}},
+				{"MIES-greedy", measures.MIES{Approximate: true}},
+			}
+			t := NewTable("frequent pattern mining (Barabási–Albert graph)",
+				"measure", "threshold", "frequent", "candidates", "pruned", "duplicates", "time")
+			for _, mc := range configs {
+				for _, th := range thresholds {
+					m, err := miner.New(g, miner.Config{
+						MinSupport:     th,
+						MaxPatternSize: 4,
+						Measure:        mc.measure,
+					})
+					if err != nil {
+						return err
+					}
+					res, err := m.Mine()
+					if err != nil {
+						return err
+					}
+					t.AddRow(mc.name, th, res.Stats.Frequent, res.Stats.Candidates,
+						res.Stats.Pruned, res.Stats.Duplicates,
+						fmtDuration(float64(res.Stats.Elapsed.Nanoseconds())))
+				}
+			}
+			return render(w, cfg, t)
+		},
+	}
+}
+
+// patternPair is a (subpattern, superpattern) pair produced by a random
+// extension chain.
+type patternPair struct {
+	sub   *pattern.Pattern
+	super *pattern.Pattern
+}
+
+// extensionPairs grows `chains` random extension chains over the labels of g
+// and returns every consecutive (subpattern, superpattern) pair. Chains start
+// from single-edge patterns that occur in g and are extended up to four
+// nodes, so the NP-hard measures stay exact during the anti-monotonicity
+// experiment.
+func extensionPairs(g *graph.Graph, chains int, seed uint64) ([]patternPair, error) {
+	rng := gen.NewRNG(seed)
+	labels := g.Labels()
+	var seeds []*pattern.Pattern
+	seen := make(map[string]bool)
+	for _, e := range g.Edges() {
+		p := pattern.SingleEdge(g.MustLabelOf(e.U), g.MustLabelOf(e.V))
+		code := p.CanonicalCode()
+		if !seen[code] {
+			seen[code] = true
+			seeds = append(seeds, p)
+		}
+	}
+	if len(seeds) == 0 {
+		return nil, nil
+	}
+	var pairs []patternPair
+	for c := 0; c < chains; c++ {
+		current := seeds[rng.Intn(len(seeds))]
+		for current.Size() < 4 {
+			exts := current.Extend(labels)
+			if len(exts) == 0 {
+				break
+			}
+			next := exts[rng.Intn(len(exts))].Result
+			pairs = append(pairs, patternPair{sub: current, super: next})
+			current = next
+		}
+	}
+	return pairs, nil
+}

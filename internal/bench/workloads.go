@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// workload is one (data graph, pattern) pair used by the quality experiments.
+type workload struct {
+	name string
+	g    *graph.Graph
+	p    *pattern.Pattern
+}
+
+// standardPatterns returns the query patterns used across experiments: a
+// single edge, a length-2 path, a triangle and a 3-leaf star, covering the
+// shapes discussed throughout the paper.
+func standardPatterns() map[string]*pattern.Pattern {
+	edge := graph.NewBuilder("edge-AB").
+		Vertex(0, 1).Vertex(1, 2).
+		Edge(0, 1).
+		MustBuild()
+	path := graph.NewBuilder("path-ABB").
+		Vertex(0, 1).Vertex(1, 2).Vertex(2, 2).
+		Path(0, 1, 2).
+		MustBuild()
+	triangle := graph.NewBuilder("triangle-AAA").
+		Vertices(1, 0, 1, 2).
+		Cycle(0, 1, 2).
+		MustBuild()
+	star := graph.NewBuilder("star-A-BBB").
+		Vertex(0, 1).Vertex(1, 2).Vertex(2, 2).Vertex(3, 2).
+		Star(0, 1, 2, 3).
+		MustBuild()
+	return map[string]*pattern.Pattern{
+		"edge":     pattern.MustNew(edge),
+		"path":     pattern.MustNew(path),
+		"triangle": pattern.MustNew(triangle),
+		"star":     pattern.MustNew(star),
+	}
+}
+
+// standardWorkloads returns the (graph, pattern) pairs used by the bounding
+// chain, LP and approximation experiments. Quick mode shrinks the graphs so
+// that the exact NP-hard solvers stay instantaneous.
+func standardWorkloads(cfg Config) []workload {
+	n := 120
+	geoN := 90
+	if cfg.Quick {
+		n = 60
+		geoN = 50
+	}
+	patterns := standardPatterns()
+	er := gen.ErdosRenyi(n, 4.0/float64(n), gen.UniformLabels{K: 2}, cfg.Seed)
+	ba := gen.BarabasiAlbert(n, 2, gen.UniformLabels{K: 2}, cfg.Seed+1)
+	geo := gen.RandomGeometric(geoN, 0.14, gen.UniformLabels{K: 2}, cfg.Seed+2)
+	star := gen.StarOverlap(6, 5, cfg.Seed+3)
+	cliques := gen.CliqueChain(6, 4, cfg.Seed+4)
+
+	return []workload{
+		{name: "er/edge", g: er, p: patterns["edge"]},
+		{name: "er/path", g: er, p: patterns["path"]},
+		{name: "er/triangle", g: er, p: patterns["triangle"]},
+		{name: "ba/edge", g: ba, p: patterns["edge"]},
+		{name: "ba/path", g: ba, p: patterns["path"]},
+		{name: "ba/star", g: ba, p: patterns["star"]},
+		{name: "geo/edge", g: geo, p: patterns["edge"]},
+		{name: "geo/triangle", g: geo, p: patterns["triangle"]},
+		{name: "star-overlap/edge", g: star, p: patterns["edge"]},
+		{name: "clique-chain/triangle", g: cliques, p: patterns["triangle"]},
+	}
+}
+
+// figureWorkloads returns the paper-figure fixtures as workloads.
+func figureWorkloads() []workload {
+	var out []workload
+	for _, fig := range dataset.AllFigures() {
+		out = append(out, workload{name: fig.Name, g: fig.Graph, p: fig.Pattern})
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+// Package core assembles the paper's hypergraph framework: given a data
+// graph and a pattern it enumerates occurrences and instances, builds the
+// occurrence hypergraph (Definition 3.1.3) and the instance hypergraph
+// (Definition 3.1.4), and classifies pairwise overlaps between occurrences
+// (simple, harmful and structural overlap, Section 4.5). All support measures
+// in the measures package are computed from a Context produced here.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/isomorph"
+	"repro/internal/pattern"
+)
+
+// Context bundles a pattern, a data graph, the enumerated occurrences and
+// instances, and the derived hypergraphs. A Context is immutable after
+// construction and safe for concurrent readers, so one Context can feed many
+// measure computations.
+type Context struct {
+	g *graph.Graph
+	p *pattern.Pattern
+
+	occurrences []*isomorph.Occurrence
+	instances   []*isomorph.Instance
+
+	occurrenceH *hypergraph.Hypergraph
+	instanceH   *hypergraph.Hypergraph
+
+	// transitive caches the transitive node subsets per policy, computed on
+	// first use from the pattern only (they do not depend on the data graph).
+	transitive map[isomorph.SubgraphPolicy][][]pattern.NodeID
+}
+
+// Options configures context construction.
+type Options struct {
+	// MaxOccurrences caps occurrence enumeration; zero means unlimited.
+	MaxOccurrences int
+}
+
+// NewContext enumerates occurrences and instances of p in g and builds both
+// hypergraphs.
+func NewContext(g *graph.Graph, p *pattern.Pattern, opts Options) (*Context, error) {
+	if g == nil || p == nil {
+		return nil, fmt.Errorf("core: nil graph or pattern")
+	}
+	occs := isomorph.Enumerate(g, p, isomorph.Options{MaxOccurrences: opts.MaxOccurrences})
+	isomorph.SortOccurrences(occs)
+	insts := isomorph.Instances(p, occs)
+
+	occH := hypergraph.New()
+	for i, o := range occs {
+		occH.MustAddEdge(fmt.Sprintf("f%d", i+1), o.VertexSet())
+	}
+	instH := hypergraph.New()
+	for i, in := range insts {
+		instH.MustAddEdge(fmt.Sprintf("S%d", i+1), in.Vertices())
+	}
+
+	return &Context{
+		g:           g,
+		p:           p,
+		occurrences: occs,
+		instances:   insts,
+		occurrenceH: occH,
+		instanceH:   instH,
+		transitive:  make(map[isomorph.SubgraphPolicy][][]pattern.NodeID),
+	}, nil
+}
+
+// MustNewContext is NewContext but panics on error; intended for tests.
+func MustNewContext(g *graph.Graph, p *pattern.Pattern, opts Options) *Context {
+	ctx, err := NewContext(g, p, opts)
+	if err != nil {
+		panic(err)
+	}
+	return ctx
+}
+
+// Graph returns the data graph.
+func (c *Context) Graph() *graph.Graph { return c.g }
+
+// Pattern returns the query pattern.
+func (c *Context) Pattern() *pattern.Pattern { return c.p }
+
+// Occurrences returns all enumerated occurrences in deterministic order.
+func (c *Context) Occurrences() []*isomorph.Occurrence { return c.occurrences }
+
+// Instances returns the distinct instances in deterministic order.
+func (c *Context) Instances() []*isomorph.Instance { return c.instances }
+
+// NumOccurrences returns the occurrence count (not a valid support measure on
+// its own; see Chapter 2).
+func (c *Context) NumOccurrences() int { return len(c.occurrences) }
+
+// NumInstances returns the instance count (not anti-monotonic either; used as
+// the intuitive reference value the MI measure approximates).
+func (c *Context) NumInstances() int { return len(c.instances) }
+
+// OccurrenceHypergraph returns the occurrence hypergraph H_O: one labeled
+// edge f_i per occurrence over its vertex images.
+func (c *Context) OccurrenceHypergraph() *hypergraph.Hypergraph { return c.occurrenceH }
+
+// InstanceHypergraph returns the instance hypergraph H_I: one labeled edge
+// S_i per distinct instance over its vertex set.
+func (c *Context) InstanceHypergraph() *hypergraph.Hypergraph { return c.instanceH }
+
+// TransitiveNodeSubsets returns (and caches) the transitive node subsets of
+// the pattern under the given subgraph policy.
+func (c *Context) TransitiveNodeSubsets(policy isomorph.SubgraphPolicy) [][]pattern.NodeID {
+	if cached, ok := c.transitive[policy]; ok {
+		return cached
+	}
+	subsets := isomorph.TransitiveNodeSubsets(c.p, policy)
+	c.transitive[policy] = subsets
+	return subsets
+}
+
+// String returns a compact summary of the context.
+func (c *Context) String() string {
+	return fmt.Sprintf("Context(pattern k=%d, %d occurrences, %d instances, H_O=%s, H_I=%s)",
+		c.p.Size(), len(c.occurrences), len(c.instances), c.occurrenceH, c.instanceH)
+}

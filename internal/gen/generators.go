@@ -1,0 +1,362 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// LabelModel assigns labels to generated vertices.
+type LabelModel interface {
+	// Label returns the label of vertex index i (0-based) given the total
+	// vertex count and an RNG.
+	Label(i, n int, rng *RNG) graph.Label
+	// Alphabet returns the set of labels the model can produce.
+	Alphabet() []graph.Label
+}
+
+// UniformLabels assigns each vertex a label drawn uniformly from 1..K.
+type UniformLabels struct {
+	// K is the alphabet size; values below 1 are treated as 1.
+	K int
+}
+
+// Label implements LabelModel.
+func (u UniformLabels) Label(_, _ int, rng *RNG) graph.Label {
+	k := u.K
+	if k < 1 {
+		k = 1
+	}
+	return graph.Label(1 + rng.Intn(k))
+}
+
+// Alphabet implements LabelModel.
+func (u UniformLabels) Alphabet() []graph.Label {
+	k := u.K
+	if k < 1 {
+		k = 1
+	}
+	out := make([]graph.Label, k)
+	for i := range out {
+		out[i] = graph.Label(i + 1)
+	}
+	return out
+}
+
+// ZipfLabels assigns labels 1..K with Zipf-distributed frequencies (label 1
+// most common), mimicking the skewed label distributions of real protein and
+// citation graphs.
+type ZipfLabels struct {
+	// K is the alphabet size; values below 1 are treated as 1.
+	K int
+	// Exponent is the Zipf exponent; values <= 0 default to 1.
+	Exponent float64
+}
+
+// Label implements LabelModel.
+func (z ZipfLabels) Label(_, _ int, rng *RNG) graph.Label {
+	k := z.K
+	if k < 1 {
+		k = 1
+	}
+	s := z.Exponent
+	if s <= 0 {
+		s = 1
+	}
+	// Compute cumulative Zipf weights; K is small so this is cheap enough to
+	// do per call while staying allocation-light for typical alphabet sizes.
+	total := 0.0
+	weights := make([]float64, k)
+	for i := 1; i <= k; i++ {
+		w := 1.0 / math.Pow(float64(i), s)
+		weights[i-1] = w
+		total += w
+	}
+	x := rng.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if x <= acc {
+			return graph.Label(i + 1)
+		}
+	}
+	return graph.Label(k)
+}
+
+// Alphabet implements LabelModel.
+func (z ZipfLabels) Alphabet() []graph.Label {
+	return UniformLabels{K: z.K}.Alphabet()
+}
+
+// ErdosRenyi generates a G(n, p) random labeled graph: every unordered vertex
+// pair is an edge independently with probability p.
+func ErdosRenyi(n int, p float64, labels LabelModel, seed uint64) *graph.Graph {
+	rng := NewRNG(seed)
+	g := graph.New(fmt.Sprintf("er-n%d-p%.3f-s%d", n, p, seed))
+	for i := 0; i < n; i++ {
+		g.MustAddVertex(graph.VertexID(i), labels.Label(i, n, rng))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(graph.VertexID(i), graph.VertexID(j))
+			}
+		}
+	}
+	return g
+}
+
+// BarabasiAlbert generates an n-vertex preferential-attachment graph: each
+// new vertex attaches m edges to existing vertices chosen proportionally to
+// their current degree, yielding the heavy-tailed degree distributions seen
+// in citation and social networks.
+func BarabasiAlbert(n, m int, labels LabelModel, seed uint64) *graph.Graph {
+	if m < 1 {
+		m = 1
+	}
+	rng := NewRNG(seed)
+	g := graph.New(fmt.Sprintf("ba-n%d-m%d-s%d", n, m, seed))
+	if n <= 0 {
+		return g
+	}
+	// Seed clique of m+1 vertices so every new vertex has enough targets.
+	seedSize := m + 1
+	if seedSize > n {
+		seedSize = n
+	}
+	for i := 0; i < seedSize; i++ {
+		g.MustAddVertex(graph.VertexID(i), labels.Label(i, n, rng))
+	}
+	// repeated holds one entry per edge endpoint, so sampling uniformly from
+	// it is degree-proportional sampling.
+	var repeated []graph.VertexID
+	for i := 0; i < seedSize; i++ {
+		for j := i + 1; j < seedSize; j++ {
+			g.MustAddEdge(graph.VertexID(i), graph.VertexID(j))
+			repeated = append(repeated, graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	for i := seedSize; i < n; i++ {
+		v := graph.VertexID(i)
+		g.MustAddVertex(v, labels.Label(i, n, rng))
+		chosen := make(map[graph.VertexID]bool, m)
+		for len(chosen) < m && len(chosen) < i {
+			var target graph.VertexID
+			if len(repeated) == 0 {
+				target = graph.VertexID(rng.Intn(i))
+			} else {
+				target = repeated[rng.Intn(len(repeated))]
+			}
+			if target == v || chosen[target] {
+				continue
+			}
+			chosen[target] = true
+		}
+		targets := make([]graph.VertexID, 0, len(chosen))
+		for t := range chosen {
+			targets = append(targets, t)
+		}
+		sort.Slice(targets, func(a, b int) bool { return targets[a] < targets[b] })
+		for _, t := range targets {
+			g.MustAddEdge(v, t)
+			repeated = append(repeated, v, t)
+		}
+	}
+	return g
+}
+
+// RandomGeometric generates an n-vertex random geometric graph: vertices are
+// placed uniformly in the unit square and connected when their Euclidean
+// distance is below radius. Geometric graphs have many overlapping local
+// patterns, which stresses the overlap-aware measures.
+func RandomGeometric(n int, radius float64, labels LabelModel, seed uint64) *graph.Graph {
+	rng := NewRNG(seed)
+	g := graph.New(fmt.Sprintf("geo-n%d-r%.3f-s%d", n, radius, seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+		g.MustAddVertex(graph.VertexID(i), labels.Label(i, n, rng))
+	}
+	r2 := radius * radius
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			if dx*dx+dy*dy <= r2 {
+				g.MustAddEdge(graph.VertexID(i), graph.VertexID(j))
+			}
+		}
+	}
+	return g
+}
+
+// Grid generates a rows x cols lattice graph with the given label model.
+// Lattices have highly regular overlap structure and are useful for verifying
+// measure values by hand.
+func Grid(rows, cols int, labels LabelModel, seed uint64) *graph.Graph {
+	rng := NewRNG(seed)
+	g := graph.New(fmt.Sprintf("grid-%dx%d-s%d", rows, cols, seed))
+	id := func(r, c int) graph.VertexID { return graph.VertexID(r*cols + c) }
+	n := rows * cols
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.MustAddVertex(id(r, c), labels.Label(r*cols+c, n, rng))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// StarOverlap generates the adversarial workload behind Figure 6 scaled up:
+// `hubs` hub vertices of label A each connected to `leaves` leaf vertices of
+// label B, with the last leaf shared by all hubs. For the one-edge pattern
+// A-B the MNI and MI supports grow with the fan-out while MVC and MIS stay
+// close to the number of hubs, so the generator directly controls MNI's
+// overestimation factor (experiment E5).
+func StarOverlap(hubs, leaves int, seed uint64) *graph.Graph {
+	g := graph.New(fmt.Sprintf("star-h%d-l%d-s%d", hubs, leaves, seed))
+	if hubs < 1 {
+		hubs = 1
+	}
+	if leaves < 1 {
+		leaves = 1
+	}
+	shared := graph.VertexID(hubs + hubs*leaves)
+	for h := 0; h < hubs; h++ {
+		g.MustAddVertex(graph.VertexID(h), 1)
+	}
+	next := graph.VertexID(hubs)
+	for h := 0; h < hubs; h++ {
+		for l := 0; l < leaves; l++ {
+			g.MustAddVertex(next, 2)
+			g.MustAddEdge(graph.VertexID(h), next)
+			next++
+		}
+	}
+	g.MustAddVertex(shared, 2)
+	for h := 0; h < hubs; h++ {
+		g.MustAddEdge(graph.VertexID(h), shared)
+	}
+	return g
+}
+
+// DoubleStar generates the Figure 6 structure scaled by a fan-out parameter:
+// one hub of label A connected to `fanout` private leaves of label B plus a
+// shared leaf, and `fanout` extra hubs of label A connected to that shared
+// leaf. For the one-edge pattern A-B both MNI and MI equal fanout+1 while MIS
+// and MVC stay at 2, so the overestimation factor of the image-based measures
+// grows linearly with the fan-out (the "arbitrarily large count" argument of
+// Section 2.2).
+func DoubleStar(fanout int, seed uint64) *graph.Graph {
+	if fanout < 1 {
+		fanout = 1
+	}
+	g := graph.New(fmt.Sprintf("doublestar-f%d-s%d", fanout, seed))
+	hub := graph.VertexID(0)
+	g.MustAddVertex(hub, 1)
+	next := graph.VertexID(1)
+	// Private leaves of the first hub.
+	for i := 0; i < fanout; i++ {
+		g.MustAddVertex(next, 2)
+		g.MustAddEdge(hub, next)
+		next++
+	}
+	// Shared leaf.
+	shared := next
+	g.MustAddVertex(shared, 2)
+	g.MustAddEdge(hub, shared)
+	next++
+	// Extra hubs attached to the shared leaf.
+	for i := 0; i < fanout; i++ {
+		g.MustAddVertex(next, 1)
+		g.MustAddEdge(next, shared)
+		next++
+	}
+	return g
+}
+
+// CliqueChain generates `count` cliques of size `size` (all vertices label A)
+// chained together by sharing a single vertex between consecutive cliques.
+// Triangle-like patterns have many automorphism-induced occurrences here, so
+// the workload separates the occurrence count from the instance count and
+// stresses the MI measure (experiment E2/E5).
+func CliqueChain(count, size int, seed uint64) *graph.Graph {
+	if count < 1 {
+		count = 1
+	}
+	if size < 2 {
+		size = 2
+	}
+	g := graph.New(fmt.Sprintf("cliques-c%d-k%d-s%d", count, size, seed))
+	next := graph.VertexID(0)
+	var prevLast graph.VertexID
+	for c := 0; c < count; c++ {
+		var members []graph.VertexID
+		if c > 0 {
+			members = append(members, prevLast)
+		}
+		for len(members) < size {
+			g.MustAddVertex(next, 1)
+			members = append(members, next)
+			next++
+		}
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if !g.HasEdge(members[i], members[j]) {
+					g.MustAddEdge(members[i], members[j])
+				}
+			}
+		}
+		prevLast = members[len(members)-1]
+	}
+	return g
+}
+
+// Preset names a ready-made workload configuration that mimics a family of
+// real graphs from the published evaluation.
+type Preset string
+
+const (
+	// PresetCitation mimics a citation network: preferential attachment with
+	// a moderately skewed label distribution.
+	PresetCitation Preset = "citation"
+	// PresetProtein mimics a protein-interaction network: sparse
+	// Erdős–Rényi connectivity with a large, heavily skewed label alphabet.
+	PresetProtein Preset = "protein"
+	// PresetSocial mimics a social network: denser preferential attachment
+	// with a tiny label alphabet.
+	PresetSocial Preset = "social"
+)
+
+// FromPreset generates a graph of roughly n vertices for the named preset.
+func FromPreset(p Preset, n int, seed uint64) (*graph.Graph, error) {
+	switch p {
+	case PresetCitation:
+		return BarabasiAlbert(n, 2, ZipfLabels{K: 8, Exponent: 1.2}, seed), nil
+	case PresetProtein:
+		return ErdosRenyi(n, 4.0/float64(maxInt(n, 2)), ZipfLabels{K: 20, Exponent: 1.5}, seed), nil
+	case PresetSocial:
+		return BarabasiAlbert(n, 4, UniformLabels{K: 3}, seed), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown preset %q", p)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

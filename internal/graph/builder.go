@@ -1,0 +1,102 @@
+package graph
+
+import "fmt"
+
+// Builder provides a fluent, error-accumulating way to construct graphs. It
+// is convenient for the hand-built example graphs used throughout the paper
+// and in tests: all errors are collected and reported once by Build.
+type Builder struct {
+	g   *Graph
+	err error
+}
+
+// NewBuilder returns a Builder for a new graph with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{g: New(name)}
+}
+
+// Vertex adds a vertex with the given label.
+func (b *Builder) Vertex(v VertexID, label Label) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.err = b.g.AddVertex(v, label)
+	return b
+}
+
+// Vertices adds several vertices all carrying the same label.
+func (b *Builder) Vertices(label Label, vs ...VertexID) *Builder {
+	for _, v := range vs {
+		b.Vertex(v, label)
+	}
+	return b
+}
+
+// Edge adds an undirected edge between u and v.
+func (b *Builder) Edge(u, v VertexID) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.err = b.g.AddEdge(u, v)
+	return b
+}
+
+// Path adds edges forming a path through the given vertices in order.
+func (b *Builder) Path(vs ...VertexID) *Builder {
+	for i := 0; i+1 < len(vs); i++ {
+		b.Edge(vs[i], vs[i+1])
+	}
+	return b
+}
+
+// Cycle adds edges forming a cycle through the given vertices in order.
+func (b *Builder) Cycle(vs ...VertexID) *Builder {
+	if len(vs) < 3 {
+		if b.err == nil {
+			b.err = fmt.Errorf("graph builder: cycle needs at least 3 vertices, got %d", len(vs))
+		}
+		return b
+	}
+	b.Path(vs...)
+	b.Edge(vs[len(vs)-1], vs[0])
+	return b
+}
+
+// Star adds edges from the center vertex to every leaf.
+func (b *Builder) Star(center VertexID, leaves ...VertexID) *Builder {
+	for _, l := range leaves {
+		b.Edge(center, l)
+	}
+	return b
+}
+
+// Clique adds all pairwise edges among the given vertices.
+func (b *Builder) Clique(vs ...VertexID) *Builder {
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			b.Edge(vs[i], vs[j])
+		}
+	}
+	return b
+}
+
+// Err returns the first error encountered so far, if any.
+func (b *Builder) Err() error { return b.err }
+
+// Build returns the constructed graph or the first accumulated error.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	return b.g, nil
+}
+
+// MustBuild returns the constructed graph and panics on error. Intended for
+// tests and the built-in figure graphs.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

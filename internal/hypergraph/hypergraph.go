@@ -1,0 +1,268 @@
+// Package hypergraph implements the occurrence/instance hypergraph substrate
+// of the paper's framework (Definitions 3.1.1-3.1.4) together with the
+// combinatorial optimization problems the support measures reduce to:
+// minimum vertex cover, maximum independent edge set (set packing), maximum
+// independent set on the projected overlap graph, and minimum clique
+// partition. Exact solvers are branch-and-bound and intended for the moderate
+// problem sizes produced by pattern mining; each has a polynomial greedy
+// companion used as a bound and as the approximate measure variant.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// EdgeID indexes an edge of a hypergraph.
+type EdgeID int
+
+// HyperEdge is a non-empty subset of hypergraph vertices together with a
+// label distinguishing it from other edges over the same vertex set (the
+// paper labels occurrence-hypergraph edges with the occurrence f_i and
+// instance-hypergraph edges with the instance S_i).
+type HyperEdge struct {
+	Label    string
+	Vertices []graph.VertexID
+}
+
+// contains reports whether the edge contains vertex v.
+func (e HyperEdge) contains(v graph.VertexID) bool {
+	for _, w := range e.Vertices {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Hypergraph is a labeled-edge hypergraph H = (V, E). Vertices are data-graph
+// vertex IDs; edges are vertex subsets. The zero value is an empty hypergraph
+// ready for use.
+type Hypergraph struct {
+	vertexSet map[graph.VertexID]bool
+	vertices  []graph.VertexID
+	edges     []HyperEdge
+	// incidence maps a vertex to the IDs of the edges containing it.
+	incidence map[graph.VertexID][]EdgeID
+}
+
+// New returns an empty hypergraph.
+func New() *Hypergraph {
+	return &Hypergraph{
+		vertexSet: make(map[graph.VertexID]bool),
+		incidence: make(map[graph.VertexID][]EdgeID),
+	}
+}
+
+// AddEdge adds an edge with the given label over the given vertex set,
+// implicitly adding any new vertices. The vertex set must be non-empty.
+// Duplicate vertex mentions within one edge are collapsed.
+func (h *Hypergraph) AddEdge(label string, vertices []graph.VertexID) (EdgeID, error) {
+	if len(vertices) == 0 {
+		return 0, fmt.Errorf("hypergraph: edge %q has an empty vertex set", label)
+	}
+	dedup := make(map[graph.VertexID]bool, len(vertices))
+	var vs []graph.VertexID
+	for _, v := range vertices {
+		if dedup[v] {
+			continue
+		}
+		dedup[v] = true
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	id := EdgeID(len(h.edges))
+	h.edges = append(h.edges, HyperEdge{Label: label, Vertices: vs})
+	for _, v := range vs {
+		if !h.vertexSet[v] {
+			h.vertexSet[v] = true
+			h.vertices = append(h.vertices, v)
+		}
+		h.incidence[v] = append(h.incidence[v], id)
+	}
+	return id, nil
+}
+
+// MustAddEdge is AddEdge but panics on error.
+func (h *Hypergraph) MustAddEdge(label string, vertices []graph.VertexID) EdgeID {
+	id, err := h.AddEdge(label, vertices)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// NumVertices returns |V|.
+func (h *Hypergraph) NumVertices() int { return len(h.vertices) }
+
+// NumEdges returns |E|.
+func (h *Hypergraph) NumEdges() int { return len(h.edges) }
+
+// Vertices returns the vertex set in sorted order.
+func (h *Hypergraph) Vertices() []graph.VertexID {
+	out := make([]graph.VertexID, len(h.vertices))
+	copy(out, h.vertices)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns all edges in insertion order. The returned slice shares no
+// storage with the hypergraph's internal state.
+func (h *Hypergraph) Edges() []HyperEdge {
+	out := make([]HyperEdge, len(h.edges))
+	for i, e := range h.edges {
+		vs := make([]graph.VertexID, len(e.Vertices))
+		copy(vs, e.Vertices)
+		out[i] = HyperEdge{Label: e.Label, Vertices: vs}
+	}
+	return out
+}
+
+// Edge returns the edge with the given ID.
+func (h *Hypergraph) Edge(id EdgeID) (HyperEdge, bool) {
+	if int(id) < 0 || int(id) >= len(h.edges) {
+		return HyperEdge{}, false
+	}
+	e := h.edges[id]
+	vs := make([]graph.VertexID, len(e.Vertices))
+	copy(vs, e.Vertices)
+	return HyperEdge{Label: e.Label, Vertices: vs}, true
+}
+
+// IncidentEdges returns the IDs of the edges containing vertex v.
+func (h *Hypergraph) IncidentEdges(v graph.VertexID) []EdgeID {
+	ids := h.incidence[v]
+	out := make([]EdgeID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// VertexDegree returns the number of edges containing v.
+func (h *Hypergraph) VertexDegree(v graph.VertexID) int { return len(h.incidence[v]) }
+
+// IsUniform reports whether all edges have the same cardinality and, if so,
+// returns that cardinality k. Occurrence/instance hypergraphs of a k-node
+// pattern are always k-uniform (Section 4.4).
+func (h *Hypergraph) IsUniform() (int, bool) {
+	if len(h.edges) == 0 {
+		return 0, true
+	}
+	k := len(h.edges[0].Vertices)
+	for _, e := range h.edges[1:] {
+		if len(e.Vertices) != k {
+			return 0, false
+		}
+	}
+	return k, true
+}
+
+// IsSimple reports whether no edge's vertex set is a subset of another
+// edge's vertex set (Definition 3.1.1). Edge labels are ignored.
+func (h *Hypergraph) IsSimple() bool {
+	for i := range h.edges {
+		for j := range h.edges {
+			if i == j {
+				continue
+			}
+			if isSubset(h.edges[i].Vertices, h.edges[j].Vertices) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// isSubset reports whether sorted slice a is a subset of sorted slice b.
+func isSubset(a, b []graph.VertexID) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] > b[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(a)
+}
+
+// EdgesOverlap reports whether the two edges share at least one vertex.
+func (h *Hypergraph) EdgesOverlap(a, b EdgeID) bool {
+	if int(a) < 0 || int(a) >= len(h.edges) || int(b) < 0 || int(b) >= len(h.edges) {
+		return false
+	}
+	va := h.edges[a].Vertices
+	vb := h.edges[b].Vertices
+	i, j := 0, 0
+	for i < len(va) && j < len(vb) {
+		switch {
+		case va[i] == vb[j]:
+			return true
+		case va[i] < vb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// conflictMatrix returns an m x m boolean matrix where entry [i][j] reports
+// whether edges i and j share a vertex. It is computed via the incidence
+// lists (total work proportional to the number of overlapping pairs) rather
+// than by comparing all pairs, which matters for occurrence hypergraphs with
+// thousands of edges.
+func (h *Hypergraph) conflictMatrix() [][]bool {
+	m := len(h.edges)
+	conflicts := make([][]bool, m)
+	for i := range conflicts {
+		conflicts[i] = make([]bool, m)
+	}
+	for _, ids := range h.incidence {
+		for x := 0; x < len(ids); x++ {
+			for y := x + 1; y < len(ids); y++ {
+				a, b := ids[x], ids[y]
+				conflicts[a][b] = true
+				conflicts[b][a] = true
+			}
+		}
+	}
+	return conflicts
+}
+
+// Dual returns the dual hypergraph H* (Definition 3.1.2): its vertices are
+// the edges of H (identified by position) and it has one edge X_v per vertex
+// v of H collecting all H-edges containing v. The dual's edges are labeled
+// with the originating vertex.
+type Dual struct {
+	// EdgeVertices lists, for each original vertex v (in sorted order), the
+	// IDs of the H-edges containing v; this is the dual edge X_v.
+	Names []graph.VertexID
+	Sets  [][]EdgeID
+}
+
+// Dual computes the dual hypergraph of h.
+func (h *Hypergraph) Dual() *Dual {
+	d := &Dual{}
+	for _, v := range h.Vertices() {
+		ids := h.IncidentEdges(v)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		d.Names = append(d.Names, v)
+		d.Sets = append(d.Sets, ids)
+	}
+	return d
+}
+
+// String returns a compact description of the hypergraph.
+func (h *Hypergraph) String() string {
+	k, uniform := h.IsUniform()
+	if uniform {
+		return fmt.Sprintf("Hypergraph(|V|=%d, |E|=%d, %d-uniform)", h.NumVertices(), h.NumEdges(), k)
+	}
+	return fmt.Sprintf("Hypergraph(|V|=%d, |E|=%d, non-uniform)", h.NumVertices(), h.NumEdges())
+}

@@ -1,0 +1,213 @@
+package hypergraph
+
+import (
+	"sort"
+)
+
+// MatchingResult is the outcome of a maximum independent edge set (hypergraph
+// matching / set packing) computation.
+type MatchingResult struct {
+	// Edges lists the IDs of the selected pairwise-disjoint edges, sorted.
+	Edges []EdgeID
+	// Size is len(Edges).
+	Size int
+	// Exact reports whether the result is provably maximum.
+	Exact bool
+}
+
+// MaximumIndependentEdgeSet computes a maximum set of pairwise vertex-disjoint
+// edges (Definition 4.2.1, the MIES measure; equal to MIS by Theorem 4.1) by
+// branch and bound. maxNodes bounds the number of explored search nodes; zero
+// means unlimited. When the bound is hit the best packing found so far is
+// returned with Exact=false.
+//
+// Two pruning bounds are combined: the number of still-selectable edges, and
+// a vertex-capacity bound (every additional edge consumes at least
+// min-edge-size unused vertices). Edges are branched in order of increasing
+// conflict degree so that good packings are found early.
+func (h *Hypergraph) MaximumIndependentEdgeSet(maxNodes int) MatchingResult {
+	m := h.NumEdges()
+	if m == 0 {
+		return MatchingResult{Exact: true}
+	}
+
+	conflicts := h.conflictMatrix()
+
+	// Branch order: least-conflicting edges first.
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	conflictDegree := make([]int, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if conflicts[i][j] {
+				conflictDegree[i]++
+			}
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if conflictDegree[order[a]] != conflictDegree[order[b]] {
+			return conflictDegree[order[a]] < conflictDegree[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	minEdgeSize := len(h.edges[0].Vertices)
+	for _, e := range h.edges[1:] {
+		if len(e.Vertices) < minEdgeSize {
+			minEdgeSize = len(e.Vertices)
+		}
+	}
+	if minEdgeSize < 1 {
+		minEdgeSize = 1
+	}
+	totalVertices := h.NumVertices()
+
+	greedy := h.GreedyIndependentEdgeSet()
+	best := make([]EdgeID, len(greedy.Edges))
+	copy(best, greedy.Edges)
+
+	blocked := make([]int, m)
+	var current []EdgeID
+	usedVertices := 0
+	explored := 0
+	truncated := false
+
+	var search func(pos int)
+	search = func(pos int) {
+		if truncated {
+			return
+		}
+		explored++
+		if maxNodes > 0 && explored > maxNodes {
+			truncated = true
+			return
+		}
+		if len(current) > len(best) {
+			best = make([]EdgeID, len(current))
+			copy(best, current)
+		}
+		// Bound 1: still-selectable edges beyond pos.
+		remaining := 0
+		for p := pos; p < m; p++ {
+			if blocked[order[p]] == 0 {
+				remaining++
+			}
+		}
+		// Bound 2: vertex capacity.
+		capacity := (totalVertices - usedVertices) / minEdgeSize
+		if remaining > capacity {
+			remaining = capacity
+		}
+		if len(current)+remaining <= len(best) {
+			return
+		}
+		for p := pos; p < m; p++ {
+			i := order[p]
+			if blocked[i] != 0 {
+				continue
+			}
+			current = append(current, EdgeID(i))
+			usedVertices += len(h.edges[i].Vertices)
+			for j := 0; j < m; j++ {
+				if conflicts[i][j] {
+					blocked[j]++
+				}
+			}
+			search(p + 1)
+			for j := 0; j < m; j++ {
+				if conflicts[i][j] {
+					blocked[j]--
+				}
+			}
+			usedVertices -= len(h.edges[i].Vertices)
+			current = current[:len(current)-1]
+			if truncated {
+				return
+			}
+		}
+	}
+	search(0)
+
+	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+	return MatchingResult{Edges: best, Size: len(best), Exact: !truncated}
+}
+
+// GreedyIndependentEdgeSet computes an inclusion-maximal independent edge set
+// by scanning edges in order of increasing overlap degree (number of
+// conflicting edges) and adding every edge that does not conflict with the
+// selection so far. The result is at least 1/k of the optimum for k-uniform
+// hypergraphs.
+func (h *Hypergraph) GreedyIndependentEdgeSet() MatchingResult {
+	m := h.NumEdges()
+	if m == 0 {
+		return MatchingResult{Exact: true}
+	}
+	// Overlap degree per edge, computed from the incidence lists so the work
+	// is proportional to the number of actually overlapping pairs.
+	overlapSets := make([]map[int]bool, m)
+	for i := range overlapSets {
+		overlapSets[i] = make(map[int]bool)
+	}
+	for _, ids := range h.incidence {
+		for x := 0; x < len(ids); x++ {
+			for y := x + 1; y < len(ids); y++ {
+				a, b := int(ids[x]), int(ids[y])
+				overlapSets[a][b] = true
+				overlapSets[b][a] = true
+			}
+		}
+	}
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if len(overlapSets[order[a]]) != len(overlapSets[order[b]]) {
+			return len(overlapSets[order[a]]) < len(overlapSets[order[b]])
+		}
+		return order[a] < order[b]
+	})
+
+	used := make(map[int]bool) // vertices already consumed, keyed by int(VertexID)
+	var selected []EdgeID
+	for _, idx := range order {
+		e := h.edges[idx]
+		free := true
+		for _, v := range e.Vertices {
+			if used[int(v)] {
+				free = false
+				break
+			}
+		}
+		if !free {
+			continue
+		}
+		for _, v := range e.Vertices {
+			used[int(v)] = true
+		}
+		selected = append(selected, EdgeID(idx))
+	}
+	sort.Slice(selected, func(i, j int) bool { return selected[i] < selected[j] })
+	return MatchingResult{Edges: selected, Size: len(selected), Exact: false}
+}
+
+// IsIndependentEdgeSet reports whether the given edges are pairwise
+// vertex-disjoint.
+func (h *Hypergraph) IsIndependentEdgeSet(edges []EdgeID) bool {
+	seen := make(map[int]bool)
+	for _, id := range edges {
+		e, ok := h.Edge(id)
+		if !ok {
+			return false
+		}
+		for _, v := range e.Vertices {
+			if seen[int(v)] {
+				return false
+			}
+			seen[int(v)] = true
+		}
+	}
+	return true
+}

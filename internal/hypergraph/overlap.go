@@ -1,0 +1,268 @@
+package hypergraph
+
+import (
+	"sort"
+)
+
+// OverlapGraph is the occurrence/instance overlap graph (Definition 2.2.5)
+// projected from a hypergraph: one vertex per hypergraph edge, and an
+// (undirected, simple) edge between two vertices whenever the corresponding
+// hypergraph edges overlap under the chosen overlap predicate.
+type OverlapGraph struct {
+	n   int
+	adj [][]bool
+}
+
+// OverlapPredicate decides whether hypergraph edges a and b overlap. The
+// default (vertex overlap) is provided by Hypergraph.EdgesOverlap; the
+// measures package supplies harmful-overlap and structural-overlap predicates
+// that compare the underlying occurrences.
+type OverlapPredicate func(a, b EdgeID) bool
+
+// NewOverlapGraph builds the overlap graph of h under the given predicate.
+// A nil predicate means simple vertex overlap.
+func NewOverlapGraph(h *Hypergraph, pred OverlapPredicate) *OverlapGraph {
+	if pred == nil {
+		pred = h.EdgesOverlap
+	}
+	n := h.NumEdges()
+	og := &OverlapGraph{n: n, adj: make([][]bool, n)}
+	for i := range og.adj {
+		og.adj[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if pred(EdgeID(i), EdgeID(j)) {
+				og.adj[i][j] = true
+				og.adj[j][i] = true
+			}
+		}
+	}
+	return og
+}
+
+// NumVertices returns the number of overlap-graph vertices (= hypergraph
+// edges = occurrences or instances of the pattern).
+func (og *OverlapGraph) NumVertices() int { return og.n }
+
+// HasEdge reports whether overlap-graph vertices i and j are adjacent.
+func (og *OverlapGraph) HasEdge(i, j int) bool {
+	if i < 0 || j < 0 || i >= og.n || j >= og.n || i == j {
+		return false
+	}
+	return og.adj[i][j]
+}
+
+// NumEdges returns the number of overlap-graph edges.
+func (og *OverlapGraph) NumEdges() int {
+	count := 0
+	for i := 0; i < og.n; i++ {
+		for j := i + 1; j < og.n; j++ {
+			if og.adj[i][j] {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// IndependentSetResult is the outcome of a maximum independent set
+// computation on an overlap graph.
+type IndependentSetResult struct {
+	// Members lists the selected overlap-graph vertices (hypergraph edge IDs).
+	Members []int
+	Size    int
+	Exact   bool
+}
+
+// MaximumIndependentSet computes a maximum independent vertex set of the
+// overlap graph (the MIS support, Definition 2.2.7) by branch and bound with
+// a greedy initial bound. maxNodes limits the explored search nodes; zero
+// means unlimited. Vertices are branched in order of increasing degree so
+// that large independent sets are found early and the bound prunes
+// aggressively.
+func (og *OverlapGraph) MaximumIndependentSet(maxNodes int) IndependentSetResult {
+	if og.n == 0 {
+		return IndependentSetResult{Exact: true}
+	}
+	greedy := og.GreedyIndependentSet()
+	best := make([]int, len(greedy.Members))
+	copy(best, greedy.Members)
+
+	order := make([]int, og.n)
+	for i := range order {
+		order[i] = i
+	}
+	degree := make([]int, og.n)
+	for i := 0; i < og.n; i++ {
+		for j := 0; j < og.n; j++ {
+			if og.adj[i][j] {
+				degree[i]++
+			}
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if degree[order[a]] != degree[order[b]] {
+			return degree[order[a]] < degree[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	blocked := make([]int, og.n)
+	var current []int
+	explored := 0
+	truncated := false
+
+	var search func(pos int)
+	search = func(pos int) {
+		if truncated {
+			return
+		}
+		explored++
+		if maxNodes > 0 && explored > maxNodes {
+			truncated = true
+			return
+		}
+		if len(current) > len(best) {
+			best = make([]int, len(current))
+			copy(best, current)
+		}
+		remaining := 0
+		for p := pos; p < og.n; p++ {
+			if blocked[order[p]] == 0 {
+				remaining++
+			}
+		}
+		if len(current)+remaining <= len(best) {
+			return
+		}
+		for p := pos; p < og.n; p++ {
+			i := order[p]
+			if blocked[i] != 0 {
+				continue
+			}
+			current = append(current, i)
+			for j := 0; j < og.n; j++ {
+				if og.adj[i][j] {
+					blocked[j]++
+				}
+			}
+			search(p + 1)
+			for j := 0; j < og.n; j++ {
+				if og.adj[i][j] {
+					blocked[j]--
+				}
+			}
+			current = current[:len(current)-1]
+			if truncated {
+				return
+			}
+		}
+	}
+	search(0)
+
+	sort.Ints(best)
+	return IndependentSetResult{Members: best, Size: len(best), Exact: !truncated}
+}
+
+// GreedyIndependentSet computes an inclusion-maximal independent set by
+// repeatedly taking the minimum-degree vertex and discarding its neighbors.
+func (og *OverlapGraph) GreedyIndependentSet() IndependentSetResult {
+	if og.n == 0 {
+		return IndependentSetResult{Exact: true}
+	}
+	alive := make([]bool, og.n)
+	for i := range alive {
+		alive[i] = true
+	}
+	aliveCount := og.n
+	var members []int
+	for aliveCount > 0 {
+		best := -1
+		bestDeg := -1
+		for i := 0; i < og.n; i++ {
+			if !alive[i] {
+				continue
+			}
+			deg := 0
+			for j := 0; j < og.n; j++ {
+				if alive[j] && og.adj[i][j] {
+					deg++
+				}
+			}
+			if best == -1 || deg < bestDeg {
+				best, bestDeg = i, deg
+			}
+		}
+		members = append(members, best)
+		alive[best] = false
+		aliveCount--
+		for j := 0; j < og.n; j++ {
+			if alive[j] && og.adj[best][j] {
+				alive[j] = false
+				aliveCount--
+			}
+		}
+	}
+	sort.Ints(members)
+	return IndependentSetResult{Members: members, Size: len(members), Exact: false}
+}
+
+// IsIndependentSet reports whether the given overlap-graph vertices are
+// pairwise non-adjacent.
+func (og *OverlapGraph) IsIndependentSet(members []int) bool {
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			if og.HasEdge(members[i], members[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CliquePartitionResult is the outcome of a minimum clique partition
+// computation on an overlap graph.
+type CliquePartitionResult struct {
+	// Cliques lists the partition classes; every class is a clique of the
+	// overlap graph and every vertex appears in exactly one class.
+	Cliques [][]int
+	Size    int
+	Exact   bool
+}
+
+// GreedyCliquePartition computes a clique partition of the overlap graph by
+// greedy clique growing; its size upper-bounds the MCP support measure of
+// Calders et al. referenced in Chapter 5. Minimum clique partition is NP-hard,
+// so only the greedy variant is provided; it still satisfies
+// MIS <= |partition| because each clique contains at most one member of any
+// independent set.
+func (og *OverlapGraph) GreedyCliquePartition() CliquePartitionResult {
+	assigned := make([]bool, og.n)
+	var cliques [][]int
+	for v := 0; v < og.n; v++ {
+		if assigned[v] {
+			continue
+		}
+		clique := []int{v}
+		assigned[v] = true
+		for w := v + 1; w < og.n; w++ {
+			if assigned[w] {
+				continue
+			}
+			ok := true
+			for _, c := range clique {
+				if !og.adj[c][w] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				clique = append(clique, w)
+				assigned[w] = true
+			}
+		}
+		cliques = append(cliques, clique)
+	}
+	return CliquePartitionResult{Cliques: cliques, Size: len(cliques), Exact: false}
+}

@@ -1,0 +1,304 @@
+// Package isomorph implements the subgraph isomorphism machinery the support
+// measures are built on: enumeration of occurrences (Definition 2.1.8) of a
+// pattern in a data graph, de-duplication of occurrences into instances
+// (Definition 2.1.9), and automorphism / vertex-orbit computation used by the
+// MI measure's transitive node subsets (Definition 3.2.3).
+package isomorph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// Occurrence is an isomorphism f from a pattern P to a subgraph of the data
+// graph G: an injective map from pattern nodes to data vertices that
+// preserves vertex labels and maps every pattern edge onto a data edge.
+type Occurrence struct {
+	// nodes is the pattern's node list in sorted order; images[i] is the data
+	// vertex f(nodes[i]). Keeping a parallel slice representation makes
+	// occurrences cheap to copy and hash.
+	nodes  []pattern.NodeID
+	images []graph.VertexID
+}
+
+// NewOccurrence builds an occurrence from an explicit mapping. It validates
+// injectivity but not edge preservation; use Enumerate for verified
+// occurrences. It is exported mainly for tests that transcribe the paper's
+// figures.
+func NewOccurrence(p *pattern.Pattern, mapping map[pattern.NodeID]graph.VertexID) (*Occurrence, error) {
+	nodes := p.Nodes()
+	if len(mapping) != len(nodes) {
+		return nil, fmt.Errorf("isomorph: mapping has %d entries, pattern has %d nodes", len(mapping), len(nodes))
+	}
+	images := make([]graph.VertexID, len(nodes))
+	seen := make(map[graph.VertexID]bool, len(nodes))
+	for i, n := range nodes {
+		img, ok := mapping[n]
+		if !ok {
+			return nil, fmt.Errorf("isomorph: mapping is missing pattern node %d", n)
+		}
+		if seen[img] {
+			return nil, fmt.Errorf("isomorph: mapping is not injective, data vertex %d used twice", img)
+		}
+		seen[img] = true
+		images[i] = img
+	}
+	return &Occurrence{nodes: nodes, images: images}, nil
+}
+
+// Image returns f(v) for a pattern node v.
+func (o *Occurrence) Image(v pattern.NodeID) (graph.VertexID, bool) {
+	for i, n := range o.nodes {
+		if n == v {
+			return o.images[i], true
+		}
+	}
+	return 0, false
+}
+
+// MustImage returns f(v) and panics if v is not a pattern node.
+func (o *Occurrence) MustImage(v pattern.NodeID) graph.VertexID {
+	img, ok := o.Image(v)
+	if !ok {
+		panic(fmt.Sprintf("isomorph: pattern node %d not in occurrence", v))
+	}
+	return img
+}
+
+// Nodes returns the pattern nodes in the fixed order used by Images.
+func (o *Occurrence) Nodes() []pattern.NodeID {
+	out := make([]pattern.NodeID, len(o.nodes))
+	copy(out, o.nodes)
+	return out
+}
+
+// Images returns the data-vertex images aligned with Nodes().
+func (o *Occurrence) Images() []graph.VertexID {
+	out := make([]graph.VertexID, len(o.images))
+	copy(out, o.images)
+	return out
+}
+
+// VertexSet returns f(V_P) as a sorted slice without duplicates.
+func (o *Occurrence) VertexSet() []graph.VertexID {
+	out := make([]graph.VertexID, len(o.images))
+	copy(out, o.images)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SubsetImage returns f(W) for a subset W of pattern nodes, as a sorted,
+// de-duplicated slice. This is the image of a coarse-grained node subset
+// (Definition 3.2.1).
+func (o *Occurrence) SubsetImage(w []pattern.NodeID) []graph.VertexID {
+	set := make(map[graph.VertexID]bool, len(w))
+	for _, n := range w {
+		img, ok := o.Image(n)
+		if !ok {
+			continue
+		}
+		set[img] = true
+	}
+	out := make([]graph.VertexID, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EdgeImage returns f(E_P): the set of data edges that pattern edges map to,
+// in normalized sorted order.
+func (o *Occurrence) EdgeImage(p *pattern.Pattern) []graph.Edge {
+	edges := p.Edges()
+	out := make([]graph.Edge, 0, len(edges))
+	for _, e := range edges {
+		out = append(out, graph.Edge{U: o.MustImage(e.U), V: o.MustImage(e.V)}.Normalize())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Key returns a canonical string identifying the occurrence (the full node to
+// vertex mapping). Two occurrences are the same isomorphism iff their keys
+// are equal.
+func (o *Occurrence) Key() string {
+	s := ""
+	for i, n := range o.nodes {
+		s += fmt.Sprintf("%d>%d;", n, o.images[i])
+	}
+	return s
+}
+
+// String implements fmt.Stringer.
+func (o *Occurrence) String() string { return "f{" + o.Key() + "}" }
+
+// Options controls occurrence enumeration.
+type Options struct {
+	// MaxOccurrences stops enumeration once this many occurrences have been
+	// found; zero means unlimited. Mining with a threshold t can set this to
+	// a small multiple of t to bound work on very frequent patterns.
+	MaxOccurrences int
+}
+
+// Enumerate returns all occurrences of pattern p in data graph g, in a
+// deterministic order. The search is a standard backtracking subgraph
+// isomorphism with label, degree and connectivity pruning: pattern nodes are
+// matched in a connected order, and candidates for each node are drawn from
+// the data graph's label index (for the first node) or from neighbors of an
+// already-matched node.
+func Enumerate(g *graph.Graph, p *pattern.Pattern, opts Options) []*Occurrence {
+	order := searchOrder(p)
+	nodes := p.Nodes()
+	posOf := make(map[pattern.NodeID]int, len(nodes))
+	for i, n := range nodes {
+		posOf[n] = i
+	}
+
+	// anchored[i] lists, for search position i > 0, pairs of (already matched
+	// pattern node, required adjacency) used to filter candidates.
+	type adjReq struct {
+		matched pattern.NodeID // earlier pattern node adjacent to order[i]
+	}
+	anchors := make([][]adjReq, len(order))
+	matchedBefore := make(map[pattern.NodeID]bool)
+	for i, n := range order {
+		if i > 0 {
+			for _, nb := range p.Graph().Neighbors(n) {
+				if matchedBefore[nb] {
+					anchors[i] = append(anchors[i], adjReq{matched: nb})
+				}
+			}
+		}
+		matchedBefore[n] = true
+	}
+
+	var result []*Occurrence
+	assignment := make(map[pattern.NodeID]graph.VertexID, len(order))
+	used := make(map[graph.VertexID]bool)
+
+	var backtrack func(depth int) bool
+	backtrack = func(depth int) bool {
+		if opts.MaxOccurrences > 0 && len(result) >= opts.MaxOccurrences {
+			return true // signal: stop
+		}
+		if depth == len(order) {
+			images := make([]graph.VertexID, len(nodes))
+			for i, n := range nodes {
+				images[i] = assignment[n]
+			}
+			result = append(result, &Occurrence{nodes: nodes, images: images})
+			return opts.MaxOccurrences > 0 && len(result) >= opts.MaxOccurrences
+		}
+		n := order[depth]
+		label := p.LabelOf(n)
+		degP := p.Graph().Degree(n)
+
+		var candidates []graph.VertexID
+		if depth == 0 {
+			candidates = g.VerticesWithLabel(label)
+		} else {
+			// Use the anchor with the smallest adjacency list in the data
+			// graph to seed candidates, then verify against the rest.
+			first := anchors[depth][0]
+			candidates = g.Neighbors(assignment[first.matched])
+		}
+
+	candidateLoop:
+		for _, c := range candidates {
+			if used[c] {
+				continue
+			}
+			if l, _ := g.LabelOf(c); l != label {
+				continue
+			}
+			if g.Degree(c) < degP {
+				continue
+			}
+			// Every pattern edge from n to an already-matched node must map
+			// to a data edge.
+			for _, a := range anchors[depth] {
+				if !g.HasEdge(c, assignment[a.matched]) {
+					continue candidateLoop
+				}
+			}
+			assignment[n] = c
+			used[c] = true
+			stop := backtrack(depth + 1)
+			delete(assignment, n)
+			delete(used, c)
+			if stop {
+				return true
+			}
+		}
+		return false
+	}
+	backtrack(0)
+	return result
+}
+
+// Count returns the number of occurrences of p in g without materializing
+// them beyond what the enumeration itself requires.
+func Count(g *graph.Graph, p *pattern.Pattern) int {
+	return len(Enumerate(g, p, Options{}))
+}
+
+// searchOrder returns pattern nodes in an order where every node after the
+// first is adjacent to at least one earlier node (a connected search order),
+// preferring rarer labels and higher degrees first to shrink the search tree.
+func searchOrder(p *pattern.Pattern) []pattern.NodeID {
+	nodes := p.Nodes()
+	if len(nodes) == 0 {
+		return nil
+	}
+	g := p.Graph()
+
+	// Start from the node with the highest degree (ties broken by smaller
+	// label then ID) and grow a connected ordering greedily.
+	start := nodes[0]
+	for _, n := range nodes {
+		dn, ds := g.Degree(n), g.Degree(start)
+		if dn > ds || (dn == ds && (p.LabelOf(n) < p.LabelOf(start) || (p.LabelOf(n) == p.LabelOf(start) && n < start))) {
+			start = n
+		}
+	}
+
+	order := []pattern.NodeID{start}
+	inOrder := map[pattern.NodeID]bool{start: true}
+	for len(order) < len(nodes) {
+		// Choose the unmatched node with the most already-ordered neighbors.
+		var best pattern.NodeID
+		bestScore := -1
+		for _, n := range nodes {
+			if inOrder[n] {
+				continue
+			}
+			score := 0
+			for _, nb := range g.Neighbors(n) {
+				if inOrder[nb] {
+					score++
+				}
+			}
+			if score > bestScore || (score == bestScore && n < best) {
+				best, bestScore = n, score
+			}
+		}
+		order = append(order, best)
+		inOrder[best] = true
+	}
+	return order
+}
+
+// SortOccurrences sorts occurrences by their canonical key for deterministic
+// output in tests and reports.
+func SortOccurrences(occs []*Occurrence) {
+	sort.Slice(occs, func(i, j int) bool { return occs[i].Key() < occs[j].Key() })
+}

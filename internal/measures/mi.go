@@ -1,0 +1,69 @@
+package measures
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isomorph"
+	"repro/internal/pattern"
+)
+
+// MI is the minimum instance support measure introduced in Section 3.2: the
+// minimum, over all transitive node subsets T of subgraphs of the pattern, of
+// the number of distinct set-images {f_i(T)} across occurrences.
+//
+// Because every singleton {v} is a transitive node subset, σ_MI ≤ σ_MNI
+// (Theorem 3.4); because a cover of the minimizing subset's images covers the
+// whole occurrence hypergraph, σ_MVC ≤ σ_MI (Theorem 3.6). MI is
+// anti-monotonic (Theorem 3.2) and linear-time in the number of occurrences
+// once the pattern's transitive node subsets are known (Theorem 3.3); the
+// subsets depend only on the (small) pattern, not on the data graph.
+type MI struct {
+	// Policy selects which subgraphs of the pattern contribute transitive
+	// node subsets. The zero value selects isomorph.PatternOnly (fast but not
+	// anti-monotonic under every extension); most callers should use
+	// DefaultMIPolicy, the faithful reading of Definition 3.2.4.
+	Policy isomorph.SubgraphPolicy
+}
+
+// DefaultMIPolicy is the subgraph policy used by the registry and the public
+// facade: orbits of every connected (partial) subgraph of the pattern. It is
+// the only policy that is anti-monotonic under arbitrary pattern extensions.
+const DefaultMIPolicy = isomorph.AllSubgraphs
+
+// NewMI returns the MI measure with the default subgraph policy.
+func NewMI() MI { return MI{Policy: DefaultMIPolicy} }
+
+// Name implements Measure.
+func (MI) Name() string { return NameMI }
+
+// Compute implements Measure.
+func (m MI) Compute(ctx *core.Context) (Result, error) {
+	occs := ctx.Occurrences()
+	if len(occs) == 0 {
+		return Result{Measure: NameMI, Value: 0, Exact: true}, nil
+	}
+	policy := m.Policy
+	subsets := ctx.TransitiveNodeSubsets(policy)
+	if len(subsets) == 0 {
+		return Result{}, fmt.Errorf("measures: pattern yielded no transitive node subsets")
+	}
+	minCount := -1
+	var minSubset []pattern.NodeID
+	for _, subset := range subsets {
+		images := make(map[string]bool, len(occs))
+		for _, o := range occs {
+			images[imageKey(o.SubsetImage(subset))] = true
+		}
+		if minCount < 0 || len(images) < minCount {
+			minCount = len(images)
+			minSubset = subset
+		}
+	}
+	return Result{
+		Measure: NameMI,
+		Value:   float64(minCount),
+		Exact:   true,
+		Witness: fmt.Sprintf("minimizing transitive node subset %v with %d distinct set images", minSubset, minCount),
+	}, nil
+}

@@ -1,0 +1,286 @@
+package measures
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/lp"
+)
+
+// OverlapMode selects the overlap notion used when building the overlap
+// graph for the MIS measure (Section 4.5). Harmful and structural overlap are
+// weaker than simple overlap, so the resulting overlap graphs are sparser and
+// the corresponding MIS variants are at least as large as the simple-overlap
+// MIS.
+type OverlapMode int
+
+const (
+	// SimpleOverlap is vertex overlap (Definition 2.2.3), the default.
+	SimpleOverlap OverlapMode = iota
+	// HarmfulOverlap is the harmful overlap of Fiedler and Borgelt
+	// (Definition 4.5.1).
+	HarmfulOverlap
+	// StructuralOverlap is the structural overlap introduced in
+	// Definition 4.5.2.
+	StructuralOverlap
+)
+
+// String implements fmt.Stringer.
+func (m OverlapMode) String() string {
+	switch m {
+	case SimpleOverlap:
+		return "simple"
+	case HarmfulOverlap:
+		return "harmful"
+	case StructuralOverlap:
+		return "structural"
+	}
+	return "unknown"
+}
+
+// MIS is the maximum-independent-set support of Vanetik et al.
+// (Definition 2.2.7): the size of a maximum independent vertex set of the
+// occurrence overlap graph. Under the hypergraph framework it equals the MIES
+// measure (Theorem 4.1). Computing it is NP-hard; the exact solver is branch
+// and bound with a configurable node budget.
+type MIS struct {
+	// Overlap selects the overlap notion; SimpleOverlap reproduces the
+	// classical measure, the other modes the Section 4.5 variants.
+	Overlap OverlapMode
+	// UseInstances builds the overlap graph over instances instead of
+	// occurrences. Only valid with SimpleOverlap (the harmful and structural
+	// notions are defined on occurrences).
+	UseInstances bool
+	// Approximate reports the greedy independent set instead of the exact
+	// optimum.
+	Approximate bool
+	// MaxNodes bounds the exact solver's search; zero means DefaultMaxNodes.
+	MaxNodes int
+}
+
+// Name implements Measure.
+func (m MIS) Name() string {
+	switch m.Overlap {
+	case HarmfulOverlap:
+		return NameMISHarmful
+	case StructuralOverlap:
+		return NameMISStructural
+	}
+	return NameMIS
+}
+
+// Compute implements Measure.
+func (m MIS) Compute(ctx *core.Context) (Result, error) {
+	if m.UseInstances && m.Overlap != SimpleOverlap {
+		return Result{}, fmt.Errorf("measures: %s overlap is defined on occurrences, not instances", m.Overlap)
+	}
+	h := ctx.OccurrenceHypergraph()
+	if m.UseInstances {
+		h = ctx.InstanceHypergraph()
+	}
+	if h.NumEdges() == 0 {
+		return Result{Measure: m.Name(), Value: 0, Exact: true}, nil
+	}
+
+	var pred hypergraph.OverlapPredicate
+	switch m.Overlap {
+	case SimpleOverlap:
+		pred = nil // simple vertex overlap, provided by the hypergraph
+	case HarmfulOverlap:
+		occs := ctx.Occurrences()
+		pred = func(a, b hypergraph.EdgeID) bool {
+			kind := ctx.ClassifyOverlap(occs[int(a)], occs[int(b)], DefaultMIPolicy)
+			return kind.Harmful
+		}
+	case StructuralOverlap:
+		occs := ctx.Occurrences()
+		pred = func(a, b hypergraph.EdgeID) bool {
+			kind := ctx.ClassifyOverlap(occs[int(a)], occs[int(b)], DefaultMIPolicy)
+			return kind.Structural
+		}
+	default:
+		return Result{}, fmt.Errorf("measures: unknown overlap mode %d", m.Overlap)
+	}
+
+	og := hypergraph.NewOverlapGraph(h, pred)
+	if m.Approximate {
+		res := og.GreedyIndependentSet()
+		return Result{
+			Measure: m.Name(),
+			Value:   float64(res.Size),
+			Exact:   false,
+			Witness: fmt.Sprintf("greedy independent set of %d overlap-graph vertices", res.Size),
+		}, nil
+	}
+	// LP certificate shortcut (simple overlap only): independent sets of the
+	// simple-overlap graph are exactly independent edge sets of the
+	// hypergraph (Theorem 4.1), so a greedy solution matching the floor of
+	// the fractional packing optimum is provably maximum.
+	if m.Overlap == SimpleOverlap {
+		if size, ok, err := miesLPShortcut(h); err != nil {
+			return Result{}, err
+		} else if ok {
+			return Result{
+				Measure: m.Name(),
+				Value:   float64(size),
+				Exact:   true,
+				Witness: fmt.Sprintf("greedy independent set of %d certified optimal by the LP relaxation", size),
+			}, nil
+		}
+	}
+	budget := m.MaxNodes
+	if budget == 0 {
+		budget = DefaultMaxNodes
+	}
+	res := og.MaximumIndependentSet(budget)
+	return Result{
+		Measure: m.Name(),
+		Value:   float64(res.Size),
+		Exact:   res.Exact,
+		Witness: fmt.Sprintf("independent overlap-graph vertices %v", res.Members),
+	}, nil
+}
+
+// miesLPShortcut reports whether the greedy independent edge set of h is
+// certified maximum by the fractional packing upper bound, and if so its
+// size.
+func miesLPShortcut(h *hypergraph.Hypergraph) (int, bool, error) {
+	best := h.GreedyIndependentEdgeSet().Size
+	frac, err := lp.FractionalIndependentEdgeSet(h)
+	if err != nil {
+		return 0, false, fmt.Errorf("measures: LP certificate for MIES: %w", err)
+	}
+	if frac.Status != lp.Optimal {
+		return 0, false, nil
+	}
+	upper := int(math.Floor(frac.Value + 1e-6))
+	return best, best >= upper, nil
+}
+
+// MIES is the maximum independent edge set support (Definition 4.2.1): the
+// largest number of pairwise vertex-disjoint edges of the occurrence (or
+// instance) hypergraph. It equals MIS (Theorem 4.1) and is anti-monotonic
+// (Theorem 4.2); it is NP-hard to compute exactly.
+type MIES struct {
+	// UseInstances selects the instance hypergraph.
+	UseInstances bool
+	// Approximate reports the greedy packing instead of the exact optimum.
+	Approximate bool
+	// MaxNodes bounds the exact solver's search; zero means DefaultMaxNodes.
+	MaxNodes int
+}
+
+// Name implements Measure.
+func (m MIES) Name() string {
+	if m.Approximate {
+		return NameMIESGreedy
+	}
+	return NameMIES
+}
+
+// Compute implements Measure.
+func (m MIES) Compute(ctx *core.Context) (Result, error) {
+	h := ctx.OccurrenceHypergraph()
+	if m.UseInstances {
+		h = ctx.InstanceHypergraph()
+	}
+	if h.NumEdges() == 0 {
+		return Result{Measure: m.Name(), Value: 0, Exact: true}, nil
+	}
+	if m.Approximate {
+		res := h.GreedyIndependentEdgeSet()
+		return Result{
+			Measure: NameMIESGreedy,
+			Value:   float64(res.Size),
+			Exact:   false,
+			Witness: fmt.Sprintf("greedy packing of %d hyperedges", res.Size),
+		}, nil
+	}
+	// LP certificate shortcut: a greedy packing matching the floor of the
+	// fractional packing optimum is provably maximum.
+	if size, ok, err := miesLPShortcut(h); err != nil {
+		return Result{}, err
+	} else if ok {
+		return Result{
+			Measure: NameMIES,
+			Value:   float64(size),
+			Exact:   true,
+			Witness: fmt.Sprintf("greedy packing of %d certified optimal by the LP relaxation", size),
+		}, nil
+	}
+	budget := m.MaxNodes
+	if budget == 0 {
+		budget = DefaultMaxNodes
+	}
+	res := h.MaximumIndependentEdgeSet(budget)
+	return Result{
+		Measure: NameMIES,
+		Value:   float64(res.Size),
+		Exact:   res.Exact,
+		Witness: fmt.Sprintf("independent hyperedges %v", res.Edges),
+	}, nil
+}
+
+// NuMIES is the polynomial-time LP relaxation of MIES (Definition 4.3.2): the
+// optimal value of the fractional independent edge set LP. By LP duality it
+// equals ν_MVC (Theorem 4.6).
+type NuMIES struct {
+	// UseInstances selects the instance hypergraph.
+	UseInstances bool
+}
+
+// Name implements Measure.
+func (NuMIES) Name() string { return NameNuMIES }
+
+// Compute implements Measure.
+func (m NuMIES) Compute(ctx *core.Context) (Result, error) {
+	h := ctx.OccurrenceHypergraph()
+	if m.UseInstances {
+		h = ctx.InstanceHypergraph()
+	}
+	res, err := lp.FractionalIndependentEdgeSet(h)
+	if err != nil {
+		return Result{}, fmt.Errorf("measures: fractional independent edge set: %w", err)
+	}
+	if res.Status != lp.Optimal {
+		return Result{}, fmt.Errorf("measures: fractional MIES LP ended with status %v", res.Status)
+	}
+	return Result{
+		Measure: NameNuMIES,
+		Value:   res.Value,
+		Exact:   true,
+		Witness: fmt.Sprintf("fractional packing over %d hyperedges", h.NumEdges()),
+	}, nil
+}
+
+// MCP is the greedy minimum clique partition support on the overlap graph,
+// the Calders et al. baseline referenced in Chapter 5. The greedy partition
+// upper-bounds the true MCP, which itself upper-bounds MIS.
+type MCP struct {
+	// UseInstances selects the instance hypergraph.
+	UseInstances bool
+}
+
+// Name implements Measure.
+func (MCP) Name() string { return NameMCP }
+
+// Compute implements Measure.
+func (m MCP) Compute(ctx *core.Context) (Result, error) {
+	h := ctx.OccurrenceHypergraph()
+	if m.UseInstances {
+		h = ctx.InstanceHypergraph()
+	}
+	if h.NumEdges() == 0 {
+		return Result{Measure: NameMCP, Value: 0, Exact: true}, nil
+	}
+	og := hypergraph.NewOverlapGraph(h, nil)
+	res := og.GreedyCliquePartition()
+	return Result{
+		Measure: NameMCP,
+		Value:   float64(res.Size),
+		Exact:   false,
+		Witness: fmt.Sprintf("greedy clique partition with %d classes", res.Size),
+	}, nil
+}

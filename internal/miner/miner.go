@@ -1,0 +1,314 @@
+// Package miner implements a single-graph frequent subgraph miner in the
+// style of GraMi / SIGRAM: starting from frequent one-edge patterns it grows
+// candidates by adding edges or vertices, de-duplicates candidates by
+// canonical code, evaluates a pluggable support measure, and prunes every
+// branch whose support falls below the threshold. Because all measures in
+// this library are anti-monotonic, pruning is safe: no frequent pattern is
+// missed (the central argument of Chapter 2).
+package miner
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/measures"
+	"repro/internal/pattern"
+)
+
+// Config controls a mining run.
+type Config struct {
+	// MinSupport is the frequency threshold: a pattern is frequent when its
+	// support is >= MinSupport.
+	MinSupport float64
+	// MaxPatternSize bounds the number of nodes of explored patterns. Zero
+	// means DefaultMaxPatternSize.
+	MaxPatternSize int
+	// MaxPatterns stops the search after this many frequent patterns have
+	// been reported; zero means unlimited.
+	MaxPatterns int
+	// Measure is the support measure driving pruning. Nil means MNI, the
+	// fastest of the anti-monotonic measures, mirroring GraMi's choice.
+	Measure measures.Measure
+	// MaxOccurrences caps occurrence enumeration per candidate pattern; zero
+	// means unlimited. Capping trades exactness of very high supports for
+	// bounded work on extremely frequent patterns.
+	MaxOccurrences int
+	// Parallelism is the number of worker goroutines used to evaluate the
+	// candidates of each search level concurrently. Values below 2 run
+	// sequentially. Support evaluation of different candidates is
+	// independent, so this is the "additiveness" extension sketched in the
+	// paper's future work (Chapter 6); results are identical to a sequential
+	// run regardless of the setting.
+	Parallelism int
+}
+
+// DefaultMaxPatternSize bounds pattern growth when the caller does not say
+// otherwise; five-node patterns keep the NP-hard measures comfortably exact.
+const DefaultMaxPatternSize = 5
+
+// FrequentPattern is one mining result.
+type FrequentPattern struct {
+	// Pattern is the frequent pattern.
+	Pattern *pattern.Pattern
+	// Support is the value of the configured measure.
+	Support float64
+	// Exact mirrors the measure result's exactness flag.
+	Exact bool
+	// Occurrences and Instances are the raw counts observed while evaluating
+	// the pattern.
+	Occurrences int
+	Instances   int
+}
+
+// Stats summarizes the work done by a mining run.
+type Stats struct {
+	// Candidates is the number of candidate patterns whose support was
+	// evaluated (after canonical-code de-duplication).
+	Candidates int
+	// Pruned is the number of evaluated candidates that fell below the
+	// threshold.
+	Pruned int
+	// Frequent is the number of frequent patterns reported.
+	Frequent int
+	// Duplicates is the number of candidates skipped because an isomorphic
+	// pattern had already been evaluated.
+	Duplicates int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	Patterns []FrequentPattern
+	Stats    Stats
+}
+
+// Miner mines frequent patterns from a single data graph.
+type Miner struct {
+	g   *graph.Graph
+	cfg Config
+}
+
+// New returns a miner over the given data graph.
+func New(g *graph.Graph, cfg Config) (*Miner, error) {
+	if g == nil {
+		return nil, fmt.Errorf("miner: nil data graph")
+	}
+	if cfg.MinSupport <= 0 {
+		return nil, fmt.Errorf("miner: MinSupport must be positive, got %v", cfg.MinSupport)
+	}
+	if cfg.MaxPatternSize == 0 {
+		cfg.MaxPatternSize = DefaultMaxPatternSize
+	}
+	if cfg.MaxPatternSize < 2 {
+		return nil, fmt.Errorf("miner: MaxPatternSize must be at least 2, got %d", cfg.MaxPatternSize)
+	}
+	if cfg.Measure == nil {
+		cfg.Measure = measures.MNI{}
+	}
+	return &Miner{g: g, cfg: cfg}, nil
+}
+
+// Mine runs the search and returns every frequent pattern found together
+// with run statistics. Patterns are reported in breadth-first order (fewer
+// edges first, since every grow step adds exactly one edge) and, within a
+// level, by canonical code.
+func (m *Miner) Mine() (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+	seen := make(map[string]bool)
+
+	// Seed: all one-edge patterns over label pairs that actually occur.
+	seeds := m.seedPatterns()
+
+	type queued struct {
+		p    *pattern.Pattern
+		code string
+	}
+	var frontier []queued
+	for _, p := range seeds {
+		code := p.CanonicalCode()
+		if seen[code] {
+			res.Stats.Duplicates++
+			continue
+		}
+		seen[code] = true
+		frontier = append(frontier, queued{p: p, code: code})
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i].code < frontier[j].code })
+
+	labels := m.g.Labels()
+
+	for len(frontier) > 0 {
+		var next []queued
+		level := make([]*pattern.Pattern, len(frontier))
+		for i, q := range frontier {
+			level[i] = q.p
+		}
+		evaluations, err := m.evaluateLevel(level)
+		if err != nil {
+			return nil, err
+		}
+		for i, q := range frontier {
+			if m.cfg.MaxPatterns > 0 && res.Stats.Frequent >= m.cfg.MaxPatterns {
+				res.Stats.Elapsed = time.Since(start)
+				return res, nil
+			}
+			fp, frequent := evaluations[i].fp, evaluations[i].frequent
+			res.Stats.Candidates++
+			if !frequent {
+				res.Stats.Pruned++
+				continue
+			}
+			res.Patterns = append(res.Patterns, fp)
+			res.Stats.Frequent++
+
+			for _, ext := range q.p.Extend(labels) {
+				// The size cap limits the number of pattern nodes; internal
+				// edge extensions (which keep the node count) are still
+				// explored so that dense shapes like triangles are reachable.
+				if ext.Result.Size() > m.cfg.MaxPatternSize {
+					continue
+				}
+				code := ext.Result.CanonicalCode()
+				if seen[code] {
+					res.Stats.Duplicates++
+					continue
+				}
+				seen[code] = true
+				next = append(next, queued{p: ext.Result, code: code})
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].code < next[j].code })
+		frontier = next
+	}
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// levelEval is the outcome of evaluating one candidate of a search level.
+type levelEval struct {
+	fp       FrequentPattern
+	frequent bool
+}
+
+// evaluateLevel computes the configured support measure for every candidate
+// of one search level, fanning the independent evaluations out across
+// cfg.Parallelism worker goroutines when asked to. The returned slice is
+// aligned with the input slice.
+func (m *Miner) evaluateLevel(level []*pattern.Pattern) ([]levelEval, error) {
+	results := make([]levelEval, len(level))
+	workers := m.cfg.Parallelism
+	if workers < 2 || len(level) < 2 {
+		for i, p := range level {
+			fp, frequent, err := m.evaluate(p)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = levelEval{fp: fp, frequent: frequent}
+		}
+		return results, nil
+	}
+	if workers > len(level) {
+		workers = len(level)
+	}
+
+	indexes := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+	record := func(err error) {
+		errMu.Lock()
+		defer errMu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				if failed() {
+					continue // drain remaining work after a failure
+				}
+				fp, frequent, err := m.evaluate(level[i])
+				if err != nil {
+					record(err)
+					continue
+				}
+				results[i] = levelEval{fp: fp, frequent: frequent}
+			}
+		}()
+	}
+	for i := range level {
+		indexes <- i
+	}
+	close(indexes)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// evaluate computes the configured support measure for one candidate.
+func (m *Miner) evaluate(p *pattern.Pattern) (FrequentPattern, bool, error) {
+	ctx, err := core.NewContext(m.g, p, core.Options{MaxOccurrences: m.cfg.MaxOccurrences})
+	if err != nil {
+		return FrequentPattern{}, false, fmt.Errorf("miner: building context for %s: %w", p, err)
+	}
+	r, err := m.cfg.Measure.Compute(ctx)
+	if err != nil {
+		return FrequentPattern{}, false, fmt.Errorf("miner: computing %s for %s: %w", m.cfg.Measure.Name(), p, err)
+	}
+	fp := FrequentPattern{
+		Pattern:     p,
+		Support:     r.Value,
+		Exact:       r.Exact,
+		Occurrences: ctx.NumOccurrences(),
+		Instances:   ctx.NumInstances(),
+	}
+	return fp, r.Value >= m.cfg.MinSupport, nil
+}
+
+// seedPatterns returns the one-edge patterns for every ordered label pair
+// that appears on at least one data edge.
+func (m *Miner) seedPatterns() []*pattern.Pattern {
+	type labelPair struct{ a, b graph.Label }
+	pairs := make(map[labelPair]bool)
+	for _, e := range m.g.Edges() {
+		la := m.g.MustLabelOf(e.U)
+		lb := m.g.MustLabelOf(e.V)
+		if la > lb {
+			la, lb = lb, la
+		}
+		pairs[labelPair{a: la, b: lb}] = true
+	}
+	keys := make([]labelPair, 0, len(pairs))
+	for p := range pairs {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	out := make([]*pattern.Pattern, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, pattern.SingleEdge(k.a, k.b))
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// CanonicalCode returns a canonical string form of the pattern: two patterns
+// have equal codes if and only if they are isomorphic (Definition 2.1.5).
+//
+// Because mining patterns are small (a handful of nodes), the code is
+// computed exactly by minimizing the encoded adjacency structure over all
+// node permutations, pruned by label classes. This plays the same role as the
+// minimum DFS code in gSpan but is simpler to verify and exact for the
+// pattern sizes the miner produces.
+func (p *Pattern) CanonicalCode() string {
+	nodes := p.Nodes()
+	k := len(nodes)
+
+	// Order candidate nodes by (label, degree) so the search tries promising
+	// prefixes first; correctness does not depend on this ordering.
+	sorted := make([]NodeID, len(nodes))
+	copy(sorted, nodes)
+	sort.Slice(sorted, func(i, j int) bool {
+		li, lj := p.LabelOf(sorted[i]), p.LabelOf(sorted[j])
+		if li != lj {
+			return li < lj
+		}
+		di, dj := p.g.Degree(sorted[i]), p.g.Degree(sorted[j])
+		if di != dj {
+			return di < dj
+		}
+		return sorted[i] < sorted[j]
+	})
+
+	best := ""
+	perm := make([]NodeID, 0, k)
+	used := make(map[NodeID]bool, k)
+
+	var encode func() string
+	encode = func() string {
+		// Encode labels in permutation order followed by the upper triangle
+		// of the adjacency matrix under that ordering.
+		var b strings.Builder
+		for _, v := range perm {
+			fmt.Fprintf(&b, "L%d.", p.LabelOf(v))
+		}
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				if p.g.HasEdge(perm[i], perm[j]) {
+					b.WriteByte('1')
+				} else {
+					b.WriteByte('0')
+				}
+			}
+		}
+		return b.String()
+	}
+
+	var search func()
+	search = func() {
+		if len(perm) == k {
+			code := encode()
+			if best == "" || code < best {
+				best = code
+			}
+			return
+		}
+		for _, v := range sorted {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			perm = append(perm, v)
+			search()
+			perm = perm[:len(perm)-1]
+			used[v] = false
+		}
+	}
+	search()
+	return best
+}
+
+// IsIsomorphicTo reports whether p and q are isomorphic labeled graphs.
+func (p *Pattern) IsIsomorphicTo(q *Pattern) bool {
+	if p.Size() != q.Size() || p.NumEdges() != q.NumEdges() {
+		return false
+	}
+	return p.CanonicalCode() == q.CanonicalCode()
+}
+
+// Extension describes one grow step applied to a pattern during mining.
+type Extension struct {
+	// Kind is "edge" when connecting two existing nodes and "vertex" when a
+	// new node is attached to an existing one.
+	Kind string
+	// From is the existing node the extension attaches to.
+	From NodeID
+	// To is the other existing node ("edge" extensions) or the newly created
+	// node ("vertex" extensions).
+	To NodeID
+	// Label is the label of the new node for "vertex" extensions.
+	Label graph.Label
+	// Result is the extended pattern with dense node IDs.
+	Result *Pattern
+}
+
+// Extend enumerates all patterns obtained from p by a single grow step:
+// either adding an edge between two existing non-adjacent nodes, or attaching
+// a brand new node with one of the given labels to an existing node. The
+// returned extensions are de-duplicated up to isomorphism of the resulting
+// pattern, so the miner explores each shape exactly once per parent.
+func (p *Pattern) Extend(labels []graph.Label) []Extension {
+	var out []Extension
+	seen := make(map[string]bool)
+
+	record := func(ext Extension) {
+		code := ext.Result.CanonicalCode()
+		if seen[code] {
+			return
+		}
+		seen[code] = true
+		out = append(out, ext)
+	}
+
+	nodes := p.Nodes()
+
+	// Internal edge extensions.
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			u, v := nodes[i], nodes[j]
+			if p.g.HasEdge(u, v) {
+				continue
+			}
+			g := p.g.Clone()
+			g.MustAddEdge(u, v)
+			ext := Extension{Kind: "edge", From: u, To: v, Result: (&Pattern{g: g}).relabeled()}
+			record(ext)
+		}
+	}
+
+	// New-vertex extensions.
+	sortedLabels := make([]graph.Label, len(labels))
+	copy(sortedLabels, labels)
+	sort.Slice(sortedLabels, func(i, j int) bool { return sortedLabels[i] < sortedLabels[j] })
+	newID := NodeID(0)
+	for _, v := range nodes {
+		if v >= newID {
+			newID = v + 1
+		}
+	}
+	for _, v := range nodes {
+		for _, l := range sortedLabels {
+			g := p.g.Clone()
+			g.MustAddVertex(newID, l)
+			g.MustAddEdge(v, newID)
+			ext := Extension{Kind: "vertex", From: v, To: newID, Label: l, Result: (&Pattern{g: g}).relabeled()}
+			record(ext)
+		}
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+// Package pattern models query patterns (Definition 2.1.3): small connected
+// labeled graphs searched for inside a large data graph. It provides
+// canonical forms for duplicate elimination during mining, pattern extension
+// operators, and subpattern enumeration used by the MI support measure.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// NodeID identifies a vertex of a pattern. By convention pattern nodes are
+// dense indexes 0..k-1, but the type accepts arbitrary IDs to keep the
+// paper's examples (v1, v2, ...) readable.
+type NodeID = graph.VertexID
+
+// Pattern is a query pattern: a connected labeled graph. It wraps
+// graph.Graph and adds pattern-specific operations. Patterns are immutable
+// once built through New or returned from the extension operators.
+type Pattern struct {
+	g *graph.Graph
+}
+
+// New wraps an existing labeled graph as a pattern. The graph must be
+// non-empty and connected: the paper (and all single-graph mining literature)
+// only considers connected patterns.
+func New(g *graph.Graph) (*Pattern, error) {
+	if g.NumVertices() == 0 {
+		return nil, fmt.Errorf("pattern: empty graph")
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("pattern %q: pattern graphs must be connected", g.Name())
+	}
+	return &Pattern{g: g}, nil
+}
+
+// MustNew is New but panics on error; intended for tests and fixtures.
+func MustNew(g *graph.Graph) *Pattern {
+	p, err := New(g)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// SingleEdge returns the one-edge pattern with the two given labels. This is
+// the seed pattern shape used by the frequent-pattern miner.
+func SingleEdge(a, b graph.Label) *Pattern {
+	g := graph.New(fmt.Sprintf("edge(%d,%d)", a, b))
+	g.MustAddVertex(0, a)
+	g.MustAddVertex(1, b)
+	g.MustAddEdge(0, 1)
+	return MustNew(g)
+}
+
+// Graph returns the underlying labeled graph. Callers must not mutate it.
+func (p *Pattern) Graph() *graph.Graph { return p.g }
+
+// Nodes returns the pattern node IDs in sorted order.
+func (p *Pattern) Nodes() []NodeID { return p.g.SortedVertices() }
+
+// Edges returns the pattern edges in normalized sorted order.
+func (p *Pattern) Edges() []graph.Edge { return p.g.Edges() }
+
+// Size returns the number of nodes k of the pattern; occurrence hypergraphs
+// built from the pattern are k-uniform.
+func (p *Pattern) Size() int { return p.g.NumVertices() }
+
+// NumEdges returns the number of edges of the pattern.
+func (p *Pattern) NumEdges() int { return p.g.NumEdges() }
+
+// LabelOf returns the label of a pattern node.
+func (p *Pattern) LabelOf(v NodeID) graph.Label { return p.g.MustLabelOf(v) }
+
+// String returns a compact description including the canonical code, which
+// makes log output stable across runs.
+func (p *Pattern) String() string {
+	return fmt.Sprintf("Pattern(k=%d, m=%d, code=%s)", p.Size(), p.NumEdges(), p.CanonicalCode())
+}
+
+// Clone returns a deep copy of the pattern.
+func (p *Pattern) Clone() *Pattern {
+	return &Pattern{g: p.g.Clone()}
+}
+
+// relabeled returns a copy of the pattern whose nodes are renumbered
+// 0..k-1 in sorted order of the original IDs. Extension operators use it so
+// that grown patterns always have dense node IDs.
+func (p *Pattern) relabeled() *Pattern {
+	nodes := p.Nodes()
+	remap := make(map[NodeID]NodeID, len(nodes))
+	for i, v := range nodes {
+		remap[v] = NodeID(i)
+	}
+	g := graph.New(p.g.Name())
+	for _, v := range nodes {
+		g.MustAddVertex(remap[v], p.g.MustLabelOf(v))
+	}
+	for _, e := range p.g.Edges() {
+		g.MustAddEdge(remap[e.U], remap[e.V])
+	}
+	return &Pattern{g: g}
+}
+
+// ConnectedSubsets enumerates every connected subset of pattern nodes with
+// exactly size elements, in deterministic order. It is used by the
+// parameterized MNI(k) measure (Definition 2.2.9). For size == 1 it returns
+// the singleton subsets.
+func (p *Pattern) ConnectedSubsets(size int) [][]NodeID {
+	if size <= 0 || size > p.Size() {
+		return nil
+	}
+	nodes := p.Nodes()
+	var result [][]NodeID
+	seen := make(map[string]bool)
+
+	var grow func(current []NodeID, inSet map[NodeID]bool)
+	grow = func(current []NodeID, inSet map[NodeID]bool) {
+		if len(current) == size {
+			key := subsetKey(current)
+			if !seen[key] {
+				seen[key] = true
+				cp := make([]NodeID, len(current))
+				copy(cp, current)
+				sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+				result = append(result, cp)
+			}
+			return
+		}
+		// Candidates: neighbors of the current set not yet included.
+		candSet := make(map[NodeID]bool)
+		for v := range inSet {
+			for _, w := range p.g.Neighbors(v) {
+				if !inSet[w] {
+					candSet[w] = true
+				}
+			}
+		}
+		cands := make([]NodeID, 0, len(candSet))
+		for v := range candSet {
+			cands = append(cands, v)
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+		for _, w := range cands {
+			inSet[w] = true
+			grow(append(current, w), inSet)
+			delete(inSet, w)
+		}
+	}
+
+	for _, start := range nodes {
+		grow([]NodeID{start}, map[NodeID]bool{start: true})
+	}
+	sort.Slice(result, func(i, j int) bool { return subsetKey(result[i]) < subsetKey(result[j]) })
+	return result
+}
+
+// AllConnectedSubsets enumerates every connected non-empty subset of pattern
+// nodes of any size, used when computing transitive node subsets over all
+// subgraphs of the pattern for the MI measure.
+func (p *Pattern) AllConnectedSubsets() [][]NodeID {
+	var out [][]NodeID
+	for size := 1; size <= p.Size(); size++ {
+		out = append(out, p.ConnectedSubsets(size)...)
+	}
+	return out
+}
+
+// subsetKey builds a canonical string key for a node subset.
+func subsetKey(vs []NodeID) string {
+	cp := make([]NodeID, len(vs))
+	copy(cp, vs)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	key := ""
+	for _, v := range cp {
+		key += fmt.Sprintf("%d,", v)
+	}
+	return key
+}
+
+// Subpattern returns the subgraph of the pattern induced by the given node
+// subset, as a plain graph (it may be disconnected, in which case it is not a
+// valid Pattern but is still useful for automorphism computations).
+func (p *Pattern) Subpattern(nodes []NodeID) (*graph.Graph, error) {
+	return p.g.InducedSubgraph(nodes)
+}

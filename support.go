@@ -1,0 +1,236 @@
+// Package support is the public facade of the library: a reimplementation of
+// the hypergraph-based support measure framework of Meng and Tu, "Flexible
+// and Feasible Support Measures for Mining Frequent Patterns in Large Labeled
+// Graphs" (SIGMOD 2017).
+//
+// The facade re-exports the building blocks a downstream user needs:
+//
+//   - labeled graphs and patterns (Graph, Pattern, NewGraphBuilder, ...)
+//   - graph generators and .lg file I/O
+//   - the support measures (MNI, MI, MVC, MIS/MIES, LP relaxations, ...)
+//     evaluated through Evaluate or individually through NewMeasure
+//   - the frequent-subgraph miner (Mine)
+//
+// The heavy lifting lives in the internal packages (internal/graph,
+// internal/measures, internal/miner, ...); this package keeps a small,
+// stable, documented surface. See the examples/ directory for runnable
+// programs built exclusively on this facade.
+package support
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/measures"
+	"repro/internal/miner"
+	"repro/internal/pattern"
+)
+
+// Re-exported core types. The aliases expose the full method sets of the
+// underlying implementations while keeping a single import path for users.
+type (
+	// Graph is a vertex-labeled undirected graph (the data graph).
+	Graph = graph.Graph
+	// GraphBuilder incrementally constructs a Graph.
+	GraphBuilder = graph.Builder
+	// VertexID identifies a vertex of a Graph or a node of a Pattern.
+	VertexID = graph.VertexID
+	// Label is a vertex label.
+	Label = graph.Label
+	// Edge is an undirected edge.
+	Edge = graph.Edge
+	// Pattern is a connected labeled query graph.
+	Pattern = pattern.Pattern
+	// Occurrence is one isomorphism from a pattern into the data graph.
+	Occurrence = isomorph.Occurrence
+	// Instance is one subgraph of the data graph isomorphic to the pattern.
+	Instance = isomorph.Instance
+	// Context bundles a (graph, pattern) pair with its occurrence and
+	// instance hypergraphs; build one with NewContext and evaluate measures
+	// on it.
+	Context = core.Context
+	// Measure computes a support value on a Context.
+	Measure = measures.Measure
+	// Result is one computed support value.
+	Result = measures.Result
+	// Evaluation maps measure names to Results for one Context.
+	Evaluation = measures.Evaluation
+	// MinerConfig configures frequent-pattern mining.
+	MinerConfig = miner.Config
+	// MinerResult is the outcome of a mining run.
+	MinerResult = miner.Result
+	// FrequentPattern is one mined frequent pattern with its support.
+	FrequentPattern = miner.FrequentPattern
+	// Figure is a built-in worked example from the paper.
+	Figure = dataset.Figure
+)
+
+// Canonical measure names accepted by NewMeasure and reported in Results.
+const (
+	MNI           = measures.NameMNI
+	MNIK          = measures.NameMNIK
+	MI            = measures.NameMI
+	MVC           = measures.NameMVC
+	MVCApprox     = measures.NameMVCApprox
+	MIS           = measures.NameMIS
+	MIES          = measures.NameMIES
+	MIESGreedy    = measures.NameMIESGreedy
+	NuMVC         = measures.NameNuMVC
+	NuMIES        = measures.NameNuMIES
+	MCP           = measures.NameMCP
+	MISHarmful    = measures.NameMISHarmful
+	MISStructural = measures.NameMISStructural
+	Occurrences   = measures.NameOccurrences
+	Instances     = measures.NameInstances
+)
+
+// NewGraph returns an empty labeled graph with the given name.
+func NewGraph(name string) *Graph { return graph.New(name) }
+
+// NewGraphBuilder returns a builder for a new graph with the given name.
+func NewGraphBuilder(name string) *GraphBuilder { return graph.NewBuilder(name) }
+
+// NewPattern wraps a connected labeled graph as a query pattern.
+func NewPattern(g *Graph) (*Pattern, error) { return pattern.New(g) }
+
+// SingleEdgePattern returns the one-edge pattern with the two given labels.
+func SingleEdgePattern(a, b Label) *Pattern { return pattern.SingleEdge(a, b) }
+
+// ReadLG parses a graph in the GraMi-style .lg text format.
+func ReadLG(r io.Reader, name string) (*Graph, error) { return dataset.ReadLG(r, name) }
+
+// WriteLG writes a graph in the .lg text format.
+func WriteLG(w io.Writer, g *Graph) error { return dataset.WriteLG(w, g) }
+
+// LoadLGFile reads a .lg graph from a file.
+func LoadLGFile(path string) (*Graph, error) { return dataset.LoadLGFile(path) }
+
+// SaveLGFile writes a graph to a file in .lg format.
+func SaveLGFile(path string, g *Graph) error { return dataset.SaveLGFile(path, g) }
+
+// PaperFigures returns the worked examples of the paper (Figures 1-10) as
+// ready-made (graph, pattern) fixtures with their expected support values.
+func PaperFigures() []Figure { return dataset.AllFigures() }
+
+// ErdosRenyi generates a G(n, p) random graph with labels drawn uniformly
+// from 1..labelCount.
+func ErdosRenyi(n int, p float64, labelCount int, seed uint64) *Graph {
+	return gen.ErdosRenyi(n, p, gen.UniformLabels{K: labelCount}, seed)
+}
+
+// BarabasiAlbert generates an n-vertex preferential-attachment graph with m
+// edges per new vertex and labels drawn uniformly from 1..labelCount.
+func BarabasiAlbert(n, m, labelCount int, seed uint64) *Graph {
+	return gen.BarabasiAlbert(n, m, gen.UniformLabels{K: labelCount}, seed)
+}
+
+// RandomGeometric generates a random geometric graph in the unit square.
+func RandomGeometric(n int, radius float64, labelCount int, seed uint64) *Graph {
+	return gen.RandomGeometric(n, radius, gen.UniformLabels{K: labelCount}, seed)
+}
+
+// ContextOptions controls occurrence enumeration when building a Context.
+type ContextOptions struct {
+	// MaxOccurrences caps occurrence enumeration; zero means unlimited.
+	MaxOccurrences int
+}
+
+// NewContext enumerates the occurrences and instances of p in g and builds
+// the occurrence/instance hypergraphs all measures are computed from.
+func NewContext(g *Graph, p *Pattern, opts ContextOptions) (*Context, error) {
+	return core.NewContext(g, p, core.Options{MaxOccurrences: opts.MaxOccurrences})
+}
+
+// MeasureNames returns every measure name known to NewMeasure, sorted.
+func MeasureNames() []string { return measures.NewRegistry().Names() }
+
+// NewMeasure returns the measure registered under the given canonical name.
+func NewMeasure(name string) (Measure, error) { return measures.NewRegistry().New(name) }
+
+// Evaluate computes the given measures (all default measures when none are
+// named) for pattern p in graph g and returns the evaluation. It is the
+// one-call entry point for "what is the support of this pattern?".
+func Evaluate(g *Graph, p *Pattern, names ...string) (*Evaluation, error) {
+	ctx, err := core.NewContext(g, p, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return measures.Evaluate(ctx)
+	}
+	reg := measures.NewRegistry()
+	ms := make([]Measure, 0, len(names))
+	for _, n := range names {
+		m, err := reg.New(n)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+	}
+	return measures.Evaluate(ctx, ms...)
+}
+
+// VerifyBoundingChain evaluates every measure of the paper's bounding chain
+// for p in g and returns an error if any inequality of
+//
+//	MIS = MIES <= nuMIES = nuMVC <= MVC <= MI <= MNI
+//
+// is violated. It is primarily a correctness oracle for tests and examples.
+func VerifyBoundingChain(g *Graph, p *Pattern) error {
+	ev, err := Evaluate(g, p)
+	if err != nil {
+		return err
+	}
+	return ev.VerifyBoundingChain()
+}
+
+// Mine runs the frequent-subgraph miner over g with the given configuration.
+// The zero MeasureName means MNI. See MinerConfig for all knobs.
+func Mine(g *Graph, cfg MinerConfig) (*MinerResult, error) {
+	m, err := miner.New(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Mine()
+}
+
+// MineWithMeasure is a convenience wrapper around Mine that selects the
+// support measure by canonical name.
+func MineWithMeasure(g *Graph, measureName string, minSupport float64, maxPatternSize int) (*MinerResult, error) {
+	m, err := NewMeasure(measureName)
+	if err != nil {
+		return nil, err
+	}
+	return Mine(g, MinerConfig{
+		MinSupport:     minSupport,
+		MaxPatternSize: maxPatternSize,
+		Measure:        m,
+	})
+}
+
+// FormatEvaluation renders an evaluation as a small human-readable report,
+// one measure per line in bounding-chain order where applicable.
+func FormatEvaluation(ev *Evaluation) string {
+	order := []string{
+		Occurrences, Instances, MIS, MIES, NuMIES, NuMVC, MVC, MVCApprox, MI, MNI, MCP,
+	}
+	out := ""
+	seen := make(map[string]bool)
+	for _, name := range order {
+		if r, ok := ev.Results[name]; ok {
+			out += fmt.Sprintf("%-12s %s\n", name, r.String())
+			seen[name] = true
+		}
+	}
+	for _, name := range ev.Names() {
+		if !seen[name] {
+			out += fmt.Sprintf("%-12s %s\n", name, ev.Results[name].String())
+		}
+	}
+	return out
+}
