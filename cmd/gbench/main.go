@@ -9,6 +9,9 @@
 //	gbench -quick              # shrink workloads (seconds instead of minutes)
 //	gbench -csv                # CSV output for plotting
 //	gbench -list               # list experiment IDs
+//	gbench -benchjson BENCH_enumeration.json
+//	                           # write the sequential-vs-parallel enumeration
+//	                           # timings as JSON and exit
 package main
 
 import (
@@ -21,11 +24,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment ID to run (default: all); see -list")
-		quick = flag.Bool("quick", false, "use reduced workloads")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		seed  = flag.Uint64("seed", 1, "base PRNG seed for generated workloads")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		exp       = flag.String("exp", "", "experiment ID to run (default: all); see -list")
+		quick     = flag.Bool("quick", false, "use reduced workloads")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		seed      = flag.Uint64("seed", 1, "base PRNG seed for generated workloads")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		benchjson = flag.String("benchjson", "", "write the enumeration benchmark records to this JSON file and exit")
 	)
 	flag.Parse()
 
@@ -35,6 +39,22 @@ func main() {
 			e, _ := reg.Get(id)
 			fmt.Printf("%-14s %s\n", id, e.Claim)
 		}
+		return
+	}
+
+	if *benchjson != "" {
+		f, err := os.Create(*benchjson)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteEnumerationJSON(f, bench.Config{Quick: *quick, Seed: *seed}); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote enumeration benchmark records to %s\n", *benchjson)
 		return
 	}
 

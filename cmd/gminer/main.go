@@ -22,6 +22,9 @@ func main() {
 		minsup    = flag.Float64("minsup", 2, "minimum support threshold")
 		maxsize   = flag.Int("maxsize", 4, "maximum number of pattern nodes")
 		top       = flag.Int("top", 0, "print only the top-N patterns by support (0 = all)")
+		workers   = flag.Int("workers", 0, "candidate evaluation workers per search level (<2 = sequential)")
+		parallel  = flag.Int("parallel", 0, "per-candidate enumeration workers (0 = GOMAXPROCS, or sequential when -workers >= 2; 1 = sequential)")
+		streaming = flag.Bool("streaming", false, "stream occurrences per candidate instead of materializing (MNI and raw counts only)")
 	)
 	flag.Parse()
 
@@ -33,7 +36,18 @@ func main() {
 		fatal(err)
 	}
 
-	res, err := support.MineWithMeasure(g, *measure, *minsup, *maxsize)
+	m, err := support.NewMeasure(*measure)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := support.Mine(g, support.MinerConfig{
+		MinSupport:      *minsup,
+		MaxPatternSize:  *maxsize,
+		Measure:         m,
+		Parallelism:     *workers,
+		EnumParallelism: *parallel,
+		Streaming:       *streaming,
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -31,6 +31,8 @@ func main() {
 		measureList = flag.String("measures", "", "comma-separated measure names (default: all); see -list")
 		list        = flag.Bool("list", false, "list available measure names and exit")
 		verify      = flag.Bool("verify", true, "verify the paper's bounding chain when all measures are computed")
+		parallel    = flag.Int("parallel", 0, "enumeration worker count (0 = GOMAXPROCS, 1 = sequential)")
+		streaming   = flag.Bool("streaming", false, "stream occurrences instead of materializing them (restricts -measures to MNI and the raw counts)")
 	)
 	flag.Parse()
 
@@ -53,14 +55,15 @@ func main() {
 			names[i] = strings.TrimSpace(names[i])
 		}
 	}
-	ev, err := support.Evaluate(g, p, names...)
+	opts := support.ContextOptions{Parallelism: *parallel, Streaming: *streaming}
+	ev, err := support.EvaluateWithOptions(g, p, opts, names...)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("data graph: %s\npattern:    %s\n\n", g, p)
 	fmt.Print(support.FormatEvaluation(ev))
 
-	if *verify && len(names) == 0 {
+	if *verify && len(names) == 0 && !*streaming {
 		if err := ev.VerifyBoundingChain(); err != nil {
 			fatal(fmt.Errorf("bounding chain violated: %w", err))
 		}

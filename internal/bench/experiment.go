@@ -84,6 +84,7 @@ func allExperiments() []Experiment {
 	return []Experiment{
 		figuresExperiment(),
 		chainExperiment(),
+		enumerationExperiment(),
 		scalingExperiment(),
 		approxExperiment(),
 		lpExperiment(),

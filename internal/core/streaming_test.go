@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// TestStreamingContextMatchesMaterialized checks that streaming contexts
+// report the same aggregates (occurrence count, instance count, MNI domain
+// sizes) as a fully materialized build, across all paper figures and every
+// parallelism setting.
+func TestStreamingContextMatchesMaterialized(t *testing.T) {
+	for _, fig := range dataset.AllFigures() {
+		mat := core.MustNewContext(fig.Graph, fig.Pattern, core.Options{})
+		for _, par := range []int{0, 1, 4} {
+			st := core.MustNewContext(fig.Graph, fig.Pattern, core.Options{Streaming: true, Parallelism: par})
+			if st.Materialized() || !st.Streaming() {
+				t.Fatalf("%s: streaming context misreports its mode", fig.Name)
+			}
+			if st.NumOccurrences() != mat.NumOccurrences() {
+				t.Errorf("%s par=%d: streaming occurrences %d, materialized %d",
+					fig.Name, par, st.NumOccurrences(), mat.NumOccurrences())
+			}
+			if st.NumInstances() != mat.NumInstances() {
+				t.Errorf("%s par=%d: streaming instances %d, materialized %d",
+					fig.Name, par, st.NumInstances(), mat.NumInstances())
+			}
+			sizes := st.MNIDomainSizes()
+			nodes := fig.Pattern.Nodes()
+			if len(sizes) != len(nodes) {
+				t.Fatalf("%s: %d domain sizes for %d pattern nodes", fig.Name, len(sizes), len(nodes))
+			}
+			for i, n := range nodes {
+				images := make(map[graph.VertexID]bool)
+				for _, o := range mat.Occurrences() {
+					images[o.MustImage(n)] = true
+				}
+				if sizes[i] != len(images) {
+					t.Errorf("%s: node %d domain size %d, want %d", fig.Name, n, sizes[i], len(images))
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingContextOmitsMaterializedState checks that streaming mode
+// really does not materialize: the occurrence/instance lists and both
+// hypergraphs must be absent.
+func TestStreamingContextOmitsMaterializedState(t *testing.T) {
+	fig := dataset.Figure2()
+	st := core.MustNewContext(fig.Graph, fig.Pattern, core.Options{Streaming: true})
+	if st.Occurrences() != nil || st.Instances() != nil {
+		t.Error("streaming context materialized occurrence or instance lists")
+	}
+	if st.OccurrenceHypergraph() != nil || st.InstanceHypergraph() != nil {
+		t.Error("streaming context materialized a hypergraph")
+	}
+}
+
+// TestMaterializedContextIdenticalAcrossParallelism checks the parallel
+// engine end to end through context construction: hypergraphs, occurrence
+// order and instance grouping must be identical for every parallelism value.
+func TestMaterializedContextIdenticalAcrossParallelism(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, gen.UniformLabels{K: 2}, 11)
+	tri := pattern.MustNew(graph.NewBuilder("tri").Vertices(1, 0, 1, 2).Cycle(0, 1, 2).MustBuild())
+
+	base := core.MustNewContext(g, tri, core.Options{Parallelism: 1})
+	for _, par := range []int{0, 2, 8} {
+		ctx := core.MustNewContext(g, tri, core.Options{Parallelism: par})
+		if ctx.NumOccurrences() != base.NumOccurrences() || ctx.NumInstances() != base.NumInstances() {
+			t.Fatalf("par=%d: %d/%d occurrences/instances, want %d/%d",
+				par, ctx.NumOccurrences(), ctx.NumInstances(), base.NumOccurrences(), base.NumInstances())
+		}
+		for i, o := range ctx.Occurrences() {
+			if o.Key() != base.Occurrences()[i].Key() {
+				t.Fatalf("par=%d: occurrence %d is %s, sequential has %s", par, i, o.Key(), base.Occurrences()[i].Key())
+			}
+		}
+		for i, in := range ctx.Instances() {
+			if in.Key() != base.Instances()[i].Key() {
+				t.Fatalf("par=%d: instance %d is %s, sequential has %s", par, i, in.Key(), base.Instances()[i].Key())
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // VertexID identifies a vertex inside a single Graph. IDs are dense indexes
@@ -70,6 +71,10 @@ type Graph struct {
 	order []VertexID
 
 	name string
+
+	// snap caches the CSR snapshot built by Freeze; mutations invalidate it.
+	snapMu sync.Mutex
+	snap   *Snapshot
 }
 
 // New returns an empty graph with an optional name used in diagnostics.
@@ -86,8 +91,12 @@ func New(name string) *Graph {
 // Name returns the graph's diagnostic name.
 func (g *Graph) Name() string { return g.name }
 
-// SetName sets the graph's diagnostic name.
-func (g *Graph) SetName(name string) { g.name = name }
+// SetName sets the graph's diagnostic name. The cached snapshot is dropped so
+// a later Freeze reflects the new name.
+func (g *Graph) SetName(name string) {
+	g.name = name
+	g.invalidateSnapshot()
+}
 
 // ensure initializes the internal maps of a zero-value Graph.
 func (g *Graph) ensure() {
@@ -116,6 +125,7 @@ func (g *Graph) AddVertex(v VertexID, label Label) error {
 	if _, ok := g.adjacency[v]; !ok {
 		g.adjacency[v] = nil
 	}
+	g.invalidateSnapshot()
 	return nil
 }
 
@@ -147,6 +157,7 @@ func (g *Graph) AddEdge(u, v VertexID) error {
 	g.edges[e] = struct{}{}
 	g.adjacency[u] = append(g.adjacency[u], v)
 	g.adjacency[v] = append(g.adjacency[v], u)
+	g.invalidateSnapshot()
 	return nil
 }
 

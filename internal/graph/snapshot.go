@@ -1,0 +1,167 @@
+package graph
+
+import "sort"
+
+// Snapshot is an immutable, cache-friendly view of a Graph: adjacency in
+// compressed sparse row (CSR) form over dense vertex indexes, per-index label
+// and degree arrays, and a label-partitioned vertex index. All hot read paths
+// (occurrence enumeration in particular) run on a Snapshot instead of the
+// Graph's mutable maps: array indexing replaces map lookups, neighbor lists
+// are contiguous, and the whole structure is safe for unsynchronized
+// concurrent readers.
+//
+// Dense indexes are assigned in increasing VertexID order, so index order and
+// ID order coincide and every per-row neighbor list is sorted. Obtain a
+// Snapshot with Graph.Freeze; never mutate the slices it returns.
+type Snapshot struct {
+	name string
+
+	// ids maps dense index -> original VertexID, sorted ascending.
+	ids []VertexID
+	// labels[i] is the label of vertex ids[i].
+	labels []Label
+	// rowPtr/colIdx are the CSR adjacency: the neighbors of index i are
+	// colIdx[rowPtr[i]:rowPtr[i+1]], each a dense index, sorted ascending.
+	rowPtr []int32
+	colIdx []int32
+	// byLabel partitions dense indexes by label, each slice sorted ascending.
+	byLabel map[Label][]int32
+
+	numEdges int
+}
+
+// Freeze returns the CSR snapshot of the graph, building it on first use and
+// caching it until the next mutation. The returned snapshot is immutable and
+// safe for concurrent readers; concurrent Freeze calls are synchronized, but
+// (as with all Graph readers) Freeze must not race with AddVertex/AddEdge.
+func (g *Graph) Freeze() *Snapshot {
+	g.snapMu.Lock()
+	defer g.snapMu.Unlock()
+	if g.snap == nil {
+		g.snap = buildSnapshot(g)
+	}
+	return g.snap
+}
+
+// invalidateSnapshot drops the cached snapshot after a mutation.
+func (g *Graph) invalidateSnapshot() {
+	g.snapMu.Lock()
+	g.snap = nil
+	g.snapMu.Unlock()
+}
+
+// buildSnapshot constructs the CSR form of g.
+func buildSnapshot(g *Graph) *Snapshot {
+	n := g.NumVertices()
+	s := &Snapshot{
+		name:     g.name,
+		ids:      g.SortedVertices(),
+		labels:   make([]Label, n),
+		rowPtr:   make([]int32, n+1),
+		colIdx:   make([]int32, 0, 2*g.NumEdges()),
+		byLabel:  make(map[Label][]int32, len(g.byLabel)),
+		numEdges: g.NumEdges(),
+	}
+	indexOf := make(map[VertexID]int32, n)
+	for i, v := range s.ids {
+		indexOf[v] = int32(i)
+	}
+	for i, v := range s.ids {
+		l := g.labels[v]
+		s.labels[i] = l
+		s.byLabel[l] = append(s.byLabel[l], int32(i))
+		row := make([]int32, 0, len(g.adjacency[v]))
+		for _, w := range g.adjacency[v] {
+			row = append(row, indexOf[w])
+		}
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		s.colIdx = append(s.colIdx, row...)
+		s.rowPtr[i+1] = int32(len(s.colIdx))
+	}
+	return s
+}
+
+// Name returns the name of the frozen graph.
+func (s *Snapshot) Name() string { return s.name }
+
+// NumVertices returns |V|.
+func (s *Snapshot) NumVertices() int { return len(s.ids) }
+
+// NumEdges returns |E|.
+func (s *Snapshot) NumEdges() int { return s.numEdges }
+
+// ID returns the VertexID of dense index i.
+func (s *Snapshot) ID(i int32) VertexID { return s.ids[i] }
+
+// IndexOf returns the dense index of vertex v. The second return value
+// reports whether the vertex exists.
+func (s *Snapshot) IndexOf(v VertexID) (int32, bool) {
+	i := sort.Search(len(s.ids), func(k int) bool { return s.ids[k] >= v })
+	if i < len(s.ids) && s.ids[i] == v {
+		return int32(i), true
+	}
+	return 0, false
+}
+
+// LabelAt returns the label of dense index i.
+func (s *Snapshot) LabelAt(i int32) Label { return s.labels[i] }
+
+// DegreeAt returns the degree of dense index i.
+func (s *Snapshot) DegreeAt(i int32) int { return int(s.rowPtr[i+1] - s.rowPtr[i]) }
+
+// NeighborsAt returns the sorted dense-index neighbor list of index i as a
+// shared sub-slice of the CSR column array. Callers must not modify it.
+func (s *Snapshot) NeighborsAt(i int32) []int32 {
+	return s.colIdx[s.rowPtr[i]:s.rowPtr[i+1]]
+}
+
+// HasEdgeAt reports whether the undirected edge between dense indexes u and v
+// is present, by binary search in the shorter of the two neighbor rows.
+func (s *Snapshot) HasEdgeAt(u, v int32) bool {
+	if s.DegreeAt(v) < s.DegreeAt(u) {
+		u, v = v, u
+	}
+	row := s.NeighborsAt(u)
+	k := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+	return k < len(row) && row[k] == v
+}
+
+// IndexesWithLabel returns the sorted dense indexes of all vertices carrying
+// the given label, as a shared slice. Callers must not modify it.
+func (s *Snapshot) IndexesWithLabel(l Label) []int32 { return s.byLabel[l] }
+
+// Degree returns the degree of vertex v (0 if the vertex does not exist).
+func (s *Snapshot) Degree(v VertexID) int {
+	i, ok := s.IndexOf(v)
+	if !ok {
+		return 0
+	}
+	return s.DegreeAt(i)
+}
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (s *Snapshot) HasEdge(u, v VertexID) bool {
+	iu, ok := s.IndexOf(u)
+	if !ok {
+		return false
+	}
+	iv, ok := s.IndexOf(v)
+	if !ok {
+		return false
+	}
+	return s.HasEdgeAt(iu, iv)
+}
+
+// Neighbors returns the sorted VertexID neighbor list of v as a fresh slice.
+func (s *Snapshot) Neighbors(v VertexID) []VertexID {
+	i, ok := s.IndexOf(v)
+	if !ok {
+		return nil
+	}
+	row := s.NeighborsAt(i)
+	out := make([]VertexID, len(row))
+	for k, j := range row {
+		out[k] = s.ids[j]
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package graph
+
+import "testing"
+
+// buildTestGraph returns a small graph with non-dense vertex IDs, mirroring
+// the paper's figures which number vertices from 1.
+func buildTestGraph() *Graph {
+	g := New("snap")
+	g.MustAddVertex(7, 1)
+	g.MustAddVertex(3, 2)
+	g.MustAddVertex(10, 1)
+	g.MustAddVertex(1, 3)
+	g.MustAddEdge(7, 3)
+	g.MustAddEdge(3, 10)
+	g.MustAddEdge(10, 1)
+	g.MustAddEdge(7, 10)
+	return g
+}
+
+func TestFreezeMatchesGraph(t *testing.T) {
+	g := buildTestGraph()
+	s := g.Freeze()
+
+	if s.NumVertices() != g.NumVertices() || s.NumEdges() != g.NumEdges() {
+		t.Fatalf("snapshot size %d/%d, graph %d/%d", s.NumVertices(), s.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for i := int32(0); i < int32(s.NumVertices()); i++ {
+		v := s.ID(i)
+		j, ok := s.IndexOf(v)
+		if !ok || j != i {
+			t.Fatalf("IndexOf(ID(%d)) = (%d, %v), want (%d, true)", i, j, ok, i)
+		}
+		if got, want := s.LabelAt(i), g.MustLabelOf(v); got != want {
+			t.Errorf("label of %d: snapshot %d, graph %d", v, got, want)
+		}
+		if got, want := s.DegreeAt(i), g.Degree(v); got != want {
+			t.Errorf("degree of %d: snapshot %d, graph %d", v, got, want)
+		}
+		nbs := s.Neighbors(v)
+		want := g.Neighbors(v)
+		if len(nbs) != len(want) {
+			t.Fatalf("neighbors of %d: snapshot %v, graph %v", v, nbs, want)
+		}
+		for k := range nbs {
+			if nbs[k] != want[k] {
+				t.Errorf("neighbors of %d: snapshot %v, graph %v", v, nbs, want)
+				break
+			}
+		}
+	}
+	// Edge membership must agree on all pairs.
+	for _, u := range g.SortedVertices() {
+		for _, v := range g.SortedVertices() {
+			if got, want := s.HasEdge(u, v), g.HasEdge(u, v); got != want {
+				t.Errorf("HasEdge(%d,%d): snapshot %v, graph %v", u, v, got, want)
+			}
+		}
+	}
+	// Label partitions must agree with the graph's label index.
+	for _, l := range g.Labels() {
+		idxs := s.IndexesWithLabel(l)
+		want := g.VerticesWithLabel(l)
+		if len(idxs) != len(want) {
+			t.Fatalf("label %d: snapshot %v, graph %v", l, idxs, want)
+		}
+		for k, i := range idxs {
+			if s.ID(i) != want[k] {
+				t.Errorf("label %d entry %d: snapshot %d, graph %d", l, k, s.ID(i), want[k])
+			}
+		}
+	}
+}
+
+func TestFreezeCachesAndInvalidates(t *testing.T) {
+	g := buildTestGraph()
+	s1 := g.Freeze()
+	if s2 := g.Freeze(); s2 != s1 {
+		t.Error("Freeze did not cache the snapshot between calls")
+	}
+	g.MustAddVertex(20, 2)
+	s3 := g.Freeze()
+	if s3 == s1 {
+		t.Fatal("Freeze returned a stale snapshot after AddVertex")
+	}
+	if s3.NumVertices() != g.NumVertices() {
+		t.Fatalf("stale vertex count %d, want %d", s3.NumVertices(), g.NumVertices())
+	}
+	g.MustAddEdge(20, 7)
+	s4 := g.Freeze()
+	if s4 == s3 {
+		t.Fatal("Freeze returned a stale snapshot after AddEdge")
+	}
+	if !s4.HasEdge(20, 7) {
+		t.Error("snapshot missing the edge added after the previous freeze")
+	}
+}
+
+func TestFreezeMissingVertex(t *testing.T) {
+	s := buildTestGraph().Freeze()
+	if _, ok := s.IndexOf(99); ok {
+		t.Error("IndexOf(99) found a nonexistent vertex")
+	}
+	if s.Degree(99) != 0 {
+		t.Error("Degree(99) != 0 for a nonexistent vertex")
+	}
+	if s.HasEdge(99, 7) || s.HasEdge(7, 99) {
+		t.Error("HasEdge involving a nonexistent vertex returned true")
+	}
+	if s.Neighbors(99) != nil {
+		t.Error("Neighbors(99) returned a non-nil slice")
+	}
+}

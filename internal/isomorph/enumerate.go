@@ -1,0 +1,481 @@
+package isomorph
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// Options controls occurrence enumeration.
+type Options struct {
+	// MaxOccurrences stops enumeration once this many occurrences have been
+	// found; zero means unlimited. Mining with a threshold t can set this to
+	// a small multiple of t to bound work on very frequent patterns. A
+	// positive cap forces sequential enumeration so that exactly the first
+	// MaxOccurrences occurrences of the deterministic search order are kept.
+	MaxOccurrences int
+	// Parallelism is the number of worker goroutines the enumeration engine
+	// partitions root candidates across. Zero picks GOMAXPROCS (falling back
+	// to a single worker on tiny inputs where goroutine overhead dominates);
+	// 1 forces the deterministic sequential path; values above 1 are used
+	// as given.
+	Parallelism int
+}
+
+// workers resolves the effective worker count for a search with the given
+// number of root candidates on a data graph with n vertices.
+func (o Options) workers(roots, n int) int {
+	if o.MaxOccurrences > 0 {
+		return 1
+	}
+	w := o.Parallelism
+	if w <= 0 {
+		// Auto mode: parallelism is not worth goroutine startup on tiny
+		// graphs or when there is almost nothing to partition.
+		if n < 128 || roots < 4 {
+			return 1
+		}
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > roots {
+		w = roots
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// searchPlan is the per-(graph, pattern) preprocessing shared by all workers:
+// the frozen CSR snapshot, the connected search order with its label/degree
+// constraints, the anchor depths used for connectivity pruning, and the
+// label+degree pruned root candidate set.
+type searchPlan struct {
+	snap  *graph.Snapshot
+	nodes []pattern.NodeID // sorted pattern nodes, shared by all occurrences
+	k     int
+
+	slot   []int         // slot[d]: index into nodes of the d-th matched node
+	label  []graph.Label // required label at depth d
+	minDeg []int         // pattern degree at depth d (data degree lower bound)
+	// anchors[d] lists earlier depths whose pattern node is adjacent to the
+	// node matched at depth d; every listed assignment must be a data
+	// neighbor of the depth-d candidate.
+	anchors [][]int
+
+	roots []int32 // dense-index root candidates (label and degree pruned)
+}
+
+// newSearchPlan freezes g and compiles the matching order of p against the
+// snapshot. It returns nil when the pattern cannot occur at all (empty
+// pattern, or a label absent from the data graph).
+func newSearchPlan(g *graph.Graph, p *pattern.Pattern) *searchPlan {
+	order := searchOrder(p)
+	if len(order) == 0 {
+		return nil
+	}
+	snap := g.Freeze()
+	nodes := p.Nodes()
+	posOf := make(map[pattern.NodeID]int, len(nodes))
+	for i, n := range nodes {
+		posOf[n] = i
+	}
+	pl := &searchPlan{
+		snap:    snap,
+		nodes:   nodes,
+		k:       len(nodes),
+		slot:    make([]int, len(order)),
+		label:   make([]graph.Label, len(order)),
+		minDeg:  make([]int, len(order)),
+		anchors: make([][]int, len(order)),
+	}
+	depthOf := make(map[pattern.NodeID]int, len(order))
+	pg := p.Graph()
+	for d, n := range order {
+		pl.slot[d] = posOf[n]
+		pl.label[d] = p.LabelOf(n)
+		pl.minDeg[d] = pg.Degree(n)
+		for _, nb := range pg.Neighbors(n) {
+			if ad, ok := depthOf[nb]; ok {
+				pl.anchors[d] = append(pl.anchors[d], ad)
+			}
+		}
+		depthOf[n] = d
+	}
+
+	for _, c := range snap.IndexesWithLabel(pl.label[0]) {
+		if snap.DegreeAt(c) >= pl.minDeg[0] {
+			pl.roots = append(pl.roots, c)
+		}
+	}
+	if len(pl.roots) == 0 {
+		return nil
+	}
+	return pl
+}
+
+// searchState is the per-worker mutable state of the backtracking search.
+type searchState struct {
+	pl     *searchPlan
+	assign []int32 // assign[d]: dense index matched at depth d
+	used   []bool  // used[i]: dense index i is already matched
+	yield  func(*Occurrence) bool
+	stop   *atomic.Bool // shared cancellation flag; nil in sequential mode
+
+	// Per-worker arenas amortize the two allocations behind every emitted
+	// occurrence (the Occurrence struct and its image slice) into large
+	// chunks, keeping the hot emit path almost allocation-free.
+	imageArena []graph.VertexID
+	occArena   []Occurrence
+}
+
+func newSearchState(pl *searchPlan, yield func(*Occurrence) bool, stop *atomic.Bool) *searchState {
+	return &searchState{
+		pl:     pl,
+		assign: make([]int32, pl.k),
+		used:   make([]bool, pl.snap.NumVertices()),
+		yield:  yield,
+		stop:   stop,
+	}
+}
+
+// searchRoot explores the full subtree rooted at candidate r. It returns true
+// when enumeration must halt (the consumer returned false or another worker
+// set the stop flag).
+func (s *searchState) searchRoot(r int32) bool {
+	s.assign[0] = r
+	s.used[r] = true
+	halt := s.search(1)
+	s.used[r] = false
+	return halt
+}
+
+// search extends the partial assignment at the given depth.
+func (s *searchState) search(depth int) bool {
+	if s.stop != nil && s.stop.Load() {
+		return true
+	}
+	pl := s.pl
+	if depth == pl.k {
+		return !s.emit()
+	}
+	snap := pl.snap
+	anchors := pl.anchors[depth]
+	label := pl.label[depth]
+	minDeg := pl.minDeg[depth]
+
+	// Seed candidates from the anchor whose assigned data vertex has the
+	// smallest degree, then verify adjacency against the remaining anchors.
+	seed := anchors[0]
+	if len(anchors) > 1 {
+		for _, a := range anchors[1:] {
+			if snap.DegreeAt(s.assign[a]) < snap.DegreeAt(s.assign[seed]) {
+				seed = a
+			}
+		}
+	}
+
+candidateLoop:
+	for _, c := range snap.NeighborsAt(s.assign[seed]) {
+		if s.used[c] || snap.LabelAt(c) != label || snap.DegreeAt(c) < minDeg {
+			continue
+		}
+		for _, a := range anchors {
+			if a == seed {
+				continue
+			}
+			if !snap.HasEdgeAt(c, s.assign[a]) {
+				continue candidateLoop
+			}
+		}
+		s.assign[depth] = c
+		s.used[c] = true
+		halt := s.search(depth + 1)
+		s.used[c] = false
+		if halt {
+			return true
+		}
+	}
+	return false
+}
+
+// emit materializes the current full assignment as an Occurrence and hands it
+// to the consumer. It returns the consumer's continue/stop decision.
+func (s *searchState) emit() bool {
+	pl := s.pl
+	const arenaChunk = 1024
+	if len(s.imageArena) < pl.k {
+		s.imageArena = make([]graph.VertexID, arenaChunk*pl.k)
+	}
+	images := s.imageArena[:pl.k:pl.k]
+	s.imageArena = s.imageArena[pl.k:]
+	for d := 0; d < pl.k; d++ {
+		images[pl.slot[d]] = pl.snap.ID(s.assign[d])
+	}
+	if len(s.occArena) == 0 {
+		s.occArena = make([]Occurrence, arenaChunk)
+	}
+	o := &s.occArena[0]
+	s.occArena = s.occArena[1:]
+	o.nodes = pl.nodes
+	o.images = images
+	return s.yield(o)
+}
+
+// EnumerateWorkers is the streaming core of the enumeration engine: it
+// partitions the root candidates of pattern p in data graph g across a worker
+// pool and streams every occurrence into per-worker consumers, without
+// materializing any occurrence list.
+//
+// newYield is invoked once per worker, serially, before the workers start;
+// the returned consumer is then called from that worker's goroutine only, so
+// consumers may accumulate into unsynchronized worker-local state. Returning
+// false from any consumer stops all workers. With an effective parallelism of
+// one (Options.Parallelism == 1, a positive MaxOccurrences cap, or a tiny
+// input in auto mode) everything runs on the calling goroutine in the
+// deterministic sequential search order.
+func EnumerateWorkers(g *graph.Graph, p *pattern.Pattern, opts Options, newYield func(worker int) func(*Occurrence) bool) {
+	pl := newSearchPlan(g, p)
+	if pl == nil {
+		return
+	}
+	workers := opts.workers(len(pl.roots), pl.snap.NumVertices())
+
+	if workers == 1 {
+		yield := newYield(0)
+		if opts.MaxOccurrences > 0 {
+			yield = capYield(yield, opts.MaxOccurrences)
+		}
+		st := newSearchState(pl, yield, nil)
+		for _, r := range pl.roots {
+			if st.searchRoot(r) {
+				return
+			}
+		}
+		return
+	}
+
+	var (
+		next int64 // atomically claimed position in pl.roots
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	// All consumers are created before any worker starts, so newYield may
+	// safely grow shared registries without synchronization.
+	yields := make([]func(*Occurrence) bool, workers)
+	for w := range yields {
+		yields[w] = newYield(w)
+	}
+	for w := 0; w < workers; w++ {
+		yield := yields[w]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := newSearchState(pl, yield, &stop)
+			for {
+				i := atomic.AddInt64(&next, 1) - 1
+				if i >= int64(len(pl.roots)) || stop.Load() {
+					return
+				}
+				if st.searchRoot(pl.roots[i]) {
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// capYield wraps a consumer so that enumeration stops after max occurrences
+// have been delivered.
+func capYield(yield func(*Occurrence) bool, max int) func(*Occurrence) bool {
+	count := 0
+	return func(o *Occurrence) bool {
+		if !yield(o) {
+			return false
+		}
+		count++
+		return count < max
+	}
+}
+
+// EnumerateFunc streams every occurrence of pattern p in data graph g to
+// yield, stopping early when yield returns false. When the effective
+// parallelism is above one, yield is called concurrently from multiple worker
+// goroutines and must be safe for concurrent use; consumers that want
+// lock-free worker-local accumulation should use EnumerateWorkers instead.
+func EnumerateFunc(g *graph.Graph, p *pattern.Pattern, opts Options, yield func(*Occurrence) bool) {
+	EnumerateWorkers(g, p, opts, func(int) func(*Occurrence) bool { return yield })
+}
+
+// Enumerate returns all occurrences of pattern p in data graph g, in the
+// canonical deterministic order (see SortOccurrences). It is a thin
+// materializing wrapper around the streaming engine: per-worker occurrence
+// buckets are sorted concurrently and merged, so the result is identical for
+// every Parallelism setting.
+func Enumerate(g *graph.Graph, p *pattern.Pattern, opts Options) []*Occurrence {
+	type bucket struct{ occs []*Occurrence }
+	var buckets []*bucket
+	EnumerateWorkers(g, p, opts, func(int) func(*Occurrence) bool {
+		b := &bucket{}
+		buckets = append(buckets, b)
+		return func(o *Occurrence) bool {
+			b.occs = append(b.occs, o)
+			return true
+		}
+	})
+	slices := make([][]*Occurrence, len(buckets))
+	for i, b := range buckets {
+		slices[i] = b.occs
+	}
+	return MergeSortedOccurrences(slices)
+}
+
+// MergeSortedOccurrences sorts each bucket of occurrences concurrently and
+// merges the sorted buckets into one slice in the canonical order. It is the
+// materialization tail of the parallel enumeration engine: bucket sorting
+// parallelizes across cores, leaving only the final k-way merge sequential.
+// The merge keeps a binary min-heap over the bucket heads, so it costs
+// O(total log buckets) comparisons rather than a per-element scan of every
+// bucket.
+func MergeSortedOccurrences(buckets [][]*Occurrence) []*Occurrence {
+	buckets = nonEmpty(buckets)
+	switch len(buckets) {
+	case 0:
+		return nil
+	case 1:
+		SortOccurrences(buckets[0])
+		return buckets[0]
+	}
+	var wg sync.WaitGroup
+	total := 0
+	for _, b := range buckets {
+		total += len(b)
+		wg.Add(1)
+		go func(b []*Occurrence) {
+			defer wg.Done()
+			SortOccurrences(b)
+		}(b)
+	}
+	wg.Wait()
+
+	// Binary min-heap of bucket indexes, keyed by each bucket's head.
+	heap := make([]int, len(buckets))
+	for i := range heap {
+		heap[i] = i
+	}
+	less := func(a, b int) bool { return buckets[heap[a]][0].Compare(buckets[heap[b]][0]) < 0 }
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < len(heap) && less(l, min) {
+				min = l
+			}
+			if r < len(heap) && less(r, min) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			heap[i], heap[min] = heap[min], heap[i]
+			i = min
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+
+	out := make([]*Occurrence, 0, total)
+	for len(heap) > 0 {
+		b := heap[0]
+		out = append(out, buckets[b][0])
+		buckets[b] = buckets[b][1:]
+		if len(buckets[b]) == 0 {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		siftDown(0)
+	}
+	return out
+}
+
+// nonEmpty drops empty buckets in place.
+func nonEmpty(buckets [][]*Occurrence) [][]*Occurrence {
+	out := buckets[:0]
+	for _, b := range buckets {
+		if len(b) > 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Count returns the number of occurrences of p in g without materializing
+// them.
+func Count(g *graph.Graph, p *pattern.Pattern) int {
+	var counts []*int64
+	EnumerateWorkers(g, p, Options{}, func(int) func(*Occurrence) bool {
+		n := new(int64)
+		counts = append(counts, n)
+		return func(*Occurrence) bool {
+			*n++
+			return true
+		}
+	})
+	total := int64(0)
+	for _, n := range counts {
+		total += *n
+	}
+	return int(total)
+}
+
+// searchOrder returns pattern nodes in an order where every node after the
+// first is adjacent to at least one earlier node (a connected search order),
+// preferring rarer labels and higher degrees first to shrink the search tree.
+func searchOrder(p *pattern.Pattern) []pattern.NodeID {
+	nodes := p.Nodes()
+	if len(nodes) == 0 {
+		return nil
+	}
+	g := p.Graph()
+
+	// Start from the node with the highest degree (ties broken by smaller
+	// label then ID) and grow a connected ordering greedily.
+	start := nodes[0]
+	for _, n := range nodes {
+		dn, ds := g.Degree(n), g.Degree(start)
+		if dn > ds || (dn == ds && (p.LabelOf(n) < p.LabelOf(start) || (p.LabelOf(n) == p.LabelOf(start) && n < start))) {
+			start = n
+		}
+	}
+
+	order := []pattern.NodeID{start}
+	inOrder := map[pattern.NodeID]bool{start: true}
+	for len(order) < len(nodes) {
+		// Choose the unmatched node with the most already-ordered neighbors.
+		var best pattern.NodeID
+		bestScore := -1
+		for _, n := range nodes {
+			if inOrder[n] {
+				continue
+			}
+			score := 0
+			for _, nb := range g.Neighbors(n) {
+				if inOrder[nb] {
+					score++
+				}
+			}
+			if score > bestScore || (score == bestScore && n < best) {
+				best, bestScore = n, score
+			}
+		}
+		order = append(order, best)
+		inOrder[best] = true
+	}
+	return order
+}

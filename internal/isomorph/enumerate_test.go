@@ -1,0 +1,188 @@
+package isomorph_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/isomorph"
+)
+
+// occurrenceKeys returns the sorted canonical keys of an occurrence slice.
+func occurrenceKeys(occs []*isomorph.Occurrence) []string {
+	out := make([]string, len(occs))
+	for i, o := range occs {
+		out[i] = o.Key()
+	}
+	return out
+}
+
+// TestEnumerateParallelDeterminism checks the engine's central contract: for
+// every paper figure fixture, every Parallelism setting produces the
+// identical occurrence sequence (the canonical sorted order), so parallel and
+// sequential enumeration are interchangeable. Run under -race this also
+// exercises the worker pool for data races.
+func TestEnumerateParallelDeterminism(t *testing.T) {
+	for _, fig := range dataset.AllFigures() {
+		want := isomorph.Enumerate(fig.Graph, fig.Pattern, isomorph.Options{Parallelism: 1})
+		wantKeys := occurrenceKeys(want)
+		for _, par := range []int{0, 2, 3, 8} {
+			got := isomorph.Enumerate(fig.Graph, fig.Pattern, isomorph.Options{Parallelism: par})
+			gotKeys := occurrenceKeys(got)
+			if len(gotKeys) != len(wantKeys) {
+				t.Fatalf("%s: Parallelism=%d returned %d occurrences, sequential returned %d",
+					fig.Name, par, len(gotKeys), len(wantKeys))
+			}
+			for i := range wantKeys {
+				if gotKeys[i] != wantKeys[i] {
+					t.Fatalf("%s: Parallelism=%d occurrence %d = %s, sequential has %s",
+						fig.Name, par, i, gotKeys[i], wantKeys[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerateParallelDeterminismGenerated repeats the determinism check on
+// a generated graph large enough that the parallel path actually fans out
+// (the figure fixtures fall below the engine's auto-mode size threshold, so
+// this is the test that exercises true multi-worker merging).
+func TestEnumerateParallelDeterminismGenerated(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, gen.UniformLabels{K: 2}, 11)
+	pat := trianglePattern(1)
+	want := occurrenceKeys(isomorph.Enumerate(g, pat, isomorph.Options{Parallelism: 1}))
+	for _, par := range []int{0, 2, 4, 16} {
+		got := occurrenceKeys(isomorph.Enumerate(g, pat, isomorph.Options{Parallelism: par}))
+		if len(got) != len(want) {
+			t.Fatalf("Parallelism=%d returned %d occurrences, sequential returned %d", par, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Parallelism=%d occurrence %d = %s, sequential has %s", par, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEnumerateFuncStreams checks the visitor API: every occurrence of the
+// slice API is delivered exactly once, and returning false stops the stream.
+func TestEnumerateFuncStreams(t *testing.T) {
+	fig := dataset.Figure2()
+	want := isomorph.Enumerate(fig.Graph, fig.Pattern, isomorph.Options{})
+
+	var (
+		mu   sync.Mutex
+		seen = make(map[string]int)
+	)
+	isomorph.EnumerateFunc(fig.Graph, fig.Pattern, isomorph.Options{}, func(o *isomorph.Occurrence) bool {
+		mu.Lock()
+		seen[o.Key()]++
+		mu.Unlock()
+		return true
+	})
+	if len(seen) != len(want) {
+		t.Fatalf("streamed %d distinct occurrences, want %d", len(seen), len(want))
+	}
+	for _, o := range want {
+		if seen[o.Key()] != 1 {
+			t.Errorf("occurrence %s delivered %d times, want once", o.Key(), seen[o.Key()])
+		}
+	}
+
+	// Early termination: a consumer that refuses after the first occurrence
+	// must not receive the whole stream.
+	delivered := 0
+	isomorph.EnumerateFunc(fig.Graph, fig.Pattern, isomorph.Options{Parallelism: 1}, func(*isomorph.Occurrence) bool {
+		delivered++
+		return false
+	})
+	if delivered != 1 {
+		t.Errorf("stopped consumer received %d occurrences, want 1", delivered)
+	}
+}
+
+// TestEnumerateWorkersPerWorkerAccumulation checks the per-worker consumer
+// contract: accumulating into unsynchronized worker-local state and merging
+// afterwards reproduces the full occurrence set.
+func TestEnumerateWorkersPerWorkerAccumulation(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, gen.UniformLabels{K: 2}, 11)
+	pat := trianglePattern(1)
+	want := isomorph.Enumerate(g, pat, isomorph.Options{})
+
+	// Workers must only touch state reached through their own consumer (the
+	// enclosing buckets slice may be reallocated by later newYield calls
+	// while earlier workers are already running).
+	type bucket struct{ keys []string }
+	var buckets []*bucket
+	isomorph.EnumerateWorkers(g, pat, isomorph.Options{Parallelism: 4}, func(int) func(*isomorph.Occurrence) bool {
+		b := &bucket{}
+		buckets = append(buckets, b)
+		return func(o *isomorph.Occurrence) bool {
+			b.keys = append(b.keys, o.Key())
+			return true
+		}
+	})
+	merged := make(map[string]int)
+	total := 0
+	for _, b := range buckets {
+		total += len(b.keys)
+		for _, k := range b.keys {
+			merged[k]++
+		}
+	}
+	if total != len(want) || len(merged) != len(want) {
+		t.Fatalf("workers delivered %d occurrences (%d distinct), want %d", total, len(merged), len(want))
+	}
+}
+
+// TestEnumerateMaxOccurrencesParallelSafe checks that a positive cap is
+// honored exactly even when a high Parallelism is requested (the engine must
+// force the sequential path so the kept prefix is deterministic).
+func TestEnumerateMaxOccurrencesParallelSafe(t *testing.T) {
+	fig := dataset.Figure2()
+	want := isomorph.Enumerate(fig.Graph, fig.Pattern, isomorph.Options{MaxOccurrences: 2, Parallelism: 1})
+	got := isomorph.Enumerate(fig.Graph, fig.Pattern, isomorph.Options{MaxOccurrences: 2, Parallelism: 8})
+	if len(got) != 2 || len(want) != 2 {
+		t.Fatalf("caps not honored: sequential kept %d, parallel kept %d, want 2", len(want), len(got))
+	}
+	for i := range want {
+		if got[i].Key() != want[i].Key() {
+			t.Errorf("capped occurrence %d differs: %s vs %s", i, got[i].Key(), want[i].Key())
+		}
+	}
+}
+
+// TestCountMatchesEnumerate checks the streaming counter against the
+// materializing API.
+func TestCountMatchesEnumerate(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, gen.UniformLabels{K: 2}, 11)
+	pat := trianglePattern(1)
+	if got, want := isomorph.Count(g, pat), len(isomorph.Enumerate(g, pat, isomorph.Options{})); got != want {
+		t.Fatalf("Count = %d, Enumerate returned %d", got, want)
+	}
+}
+
+// TestOccurrenceImageBinarySearch checks Image against MustImage across a
+// pattern with non-dense node IDs (the paper's figures number nodes from 1).
+func TestOccurrenceImageBinarySearch(t *testing.T) {
+	fig := dataset.Figure9()
+	occs := isomorph.Enumerate(fig.Graph, fig.Pattern, isomorph.Options{})
+	if len(occs) == 0 {
+		t.Fatal("no occurrences on figure9")
+	}
+	for _, o := range occs {
+		for i, n := range o.Nodes() {
+			img, ok := o.Image(n)
+			if !ok {
+				t.Fatalf("Image(%d) reported missing node", n)
+			}
+			if img != o.Images()[i] {
+				t.Errorf("Image(%d) = %d, want %d", n, img, o.Images()[i])
+			}
+		}
+		if _, ok := o.Image(-999); ok {
+			t.Error("Image(-999) found a nonexistent node")
+		}
+	}
+}

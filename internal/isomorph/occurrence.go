@@ -49,15 +49,22 @@ func NewOccurrence(p *pattern.Pattern, mapping map[pattern.NodeID]graph.VertexID
 	return &Occurrence{nodes: nodes, images: images}, nil
 }
 
-// Image returns f(v) for a pattern node v.
+// Image returns f(v) for a pattern node v. The nodes slice is sorted, so the
+// lookup is a binary search rather than a linear scan.
 func (o *Occurrence) Image(v pattern.NodeID) (graph.VertexID, bool) {
-	for i, n := range o.nodes {
-		if n == v {
-			return o.images[i], true
-		}
+	i := sort.Search(len(o.nodes), func(k int) bool { return o.nodes[k] >= v })
+	if i < len(o.nodes) && o.nodes[i] == v {
+		return o.images[i], true
 	}
 	return 0, false
 }
+
+// ImageAt returns f(Nodes()[i]) without copying the node or image slices; it
+// is the allocation-free accessor used by streaming consumers.
+func (o *Occurrence) ImageAt(i int) graph.VertexID { return o.images[i] }
+
+// Len returns the number of pattern nodes of the occurrence.
+func (o *Occurrence) Len() int { return len(o.nodes) }
 
 // MustImage returns f(v) and panics if v is not a pattern node.
 func (o *Occurrence) MustImage(v pattern.NodeID) graph.VertexID {
@@ -141,164 +148,39 @@ func (o *Occurrence) Key() string {
 // String implements fmt.Stringer.
 func (o *Occurrence) String() string { return "f{" + o.Key() + "}" }
 
-// Options controls occurrence enumeration.
-type Options struct {
-	// MaxOccurrences stops enumeration once this many occurrences have been
-	// found; zero means unlimited. Mining with a threshold t can set this to
-	// a small multiple of t to bound work on very frequent patterns.
-	MaxOccurrences int
+// Compare orders two occurrences by their node list and then their image
+// list, both compared numerically. It induces the canonical deterministic
+// occurrence order used by SortOccurrences and the core context.
+func (o *Occurrence) Compare(q *Occurrence) int {
+	if len(o.nodes) != len(q.nodes) {
+		if len(o.nodes) < len(q.nodes) {
+			return -1
+		}
+		return 1
+	}
+	for i := range o.nodes {
+		if o.nodes[i] != q.nodes[i] {
+			if o.nodes[i] < q.nodes[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	for i := range o.images {
+		if o.images[i] != q.images[i] {
+			if o.images[i] < q.images[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
 }
 
-// Enumerate returns all occurrences of pattern p in data graph g, in a
-// deterministic order. The search is a standard backtracking subgraph
-// isomorphism with label, degree and connectivity pruning: pattern nodes are
-// matched in a connected order, and candidates for each node are drawn from
-// the data graph's label index (for the first node) or from neighbors of an
-// already-matched node.
-func Enumerate(g *graph.Graph, p *pattern.Pattern, opts Options) []*Occurrence {
-	order := searchOrder(p)
-	nodes := p.Nodes()
-	posOf := make(map[pattern.NodeID]int, len(nodes))
-	for i, n := range nodes {
-		posOf[n] = i
-	}
-
-	// anchored[i] lists, for search position i > 0, pairs of (already matched
-	// pattern node, required adjacency) used to filter candidates.
-	type adjReq struct {
-		matched pattern.NodeID // earlier pattern node adjacent to order[i]
-	}
-	anchors := make([][]adjReq, len(order))
-	matchedBefore := make(map[pattern.NodeID]bool)
-	for i, n := range order {
-		if i > 0 {
-			for _, nb := range p.Graph().Neighbors(n) {
-				if matchedBefore[nb] {
-					anchors[i] = append(anchors[i], adjReq{matched: nb})
-				}
-			}
-		}
-		matchedBefore[n] = true
-	}
-
-	var result []*Occurrence
-	assignment := make(map[pattern.NodeID]graph.VertexID, len(order))
-	used := make(map[graph.VertexID]bool)
-
-	var backtrack func(depth int) bool
-	backtrack = func(depth int) bool {
-		if opts.MaxOccurrences > 0 && len(result) >= opts.MaxOccurrences {
-			return true // signal: stop
-		}
-		if depth == len(order) {
-			images := make([]graph.VertexID, len(nodes))
-			for i, n := range nodes {
-				images[i] = assignment[n]
-			}
-			result = append(result, &Occurrence{nodes: nodes, images: images})
-			return opts.MaxOccurrences > 0 && len(result) >= opts.MaxOccurrences
-		}
-		n := order[depth]
-		label := p.LabelOf(n)
-		degP := p.Graph().Degree(n)
-
-		var candidates []graph.VertexID
-		if depth == 0 {
-			candidates = g.VerticesWithLabel(label)
-		} else {
-			// Use the anchor with the smallest adjacency list in the data
-			// graph to seed candidates, then verify against the rest.
-			first := anchors[depth][0]
-			candidates = g.Neighbors(assignment[first.matched])
-		}
-
-	candidateLoop:
-		for _, c := range candidates {
-			if used[c] {
-				continue
-			}
-			if l, _ := g.LabelOf(c); l != label {
-				continue
-			}
-			if g.Degree(c) < degP {
-				continue
-			}
-			// Every pattern edge from n to an already-matched node must map
-			// to a data edge.
-			for _, a := range anchors[depth] {
-				if !g.HasEdge(c, assignment[a.matched]) {
-					continue candidateLoop
-				}
-			}
-			assignment[n] = c
-			used[c] = true
-			stop := backtrack(depth + 1)
-			delete(assignment, n)
-			delete(used, c)
-			if stop {
-				return true
-			}
-		}
-		return false
-	}
-	backtrack(0)
-	return result
-}
-
-// Count returns the number of occurrences of p in g without materializing
-// them beyond what the enumeration itself requires.
-func Count(g *graph.Graph, p *pattern.Pattern) int {
-	return len(Enumerate(g, p, Options{}))
-}
-
-// searchOrder returns pattern nodes in an order where every node after the
-// first is adjacent to at least one earlier node (a connected search order),
-// preferring rarer labels and higher degrees first to shrink the search tree.
-func searchOrder(p *pattern.Pattern) []pattern.NodeID {
-	nodes := p.Nodes()
-	if len(nodes) == 0 {
-		return nil
-	}
-	g := p.Graph()
-
-	// Start from the node with the highest degree (ties broken by smaller
-	// label then ID) and grow a connected ordering greedily.
-	start := nodes[0]
-	for _, n := range nodes {
-		dn, ds := g.Degree(n), g.Degree(start)
-		if dn > ds || (dn == ds && (p.LabelOf(n) < p.LabelOf(start) || (p.LabelOf(n) == p.LabelOf(start) && n < start))) {
-			start = n
-		}
-	}
-
-	order := []pattern.NodeID{start}
-	inOrder := map[pattern.NodeID]bool{start: true}
-	for len(order) < len(nodes) {
-		// Choose the unmatched node with the most already-ordered neighbors.
-		var best pattern.NodeID
-		bestScore := -1
-		for _, n := range nodes {
-			if inOrder[n] {
-				continue
-			}
-			score := 0
-			for _, nb := range g.Neighbors(n) {
-				if inOrder[nb] {
-					score++
-				}
-			}
-			if score > bestScore || (score == bestScore && n < best) {
-				best, bestScore = n, score
-			}
-		}
-		order = append(order, best)
-		inOrder[best] = true
-	}
-	return order
-}
-
-// SortOccurrences sorts occurrences by their canonical key for deterministic
-// output in tests and reports.
+// SortOccurrences sorts occurrences into the canonical deterministic order
+// (numeric comparison of node and image lists; see Compare). The comparison
+// avoids materializing string keys, which matters when millions of
+// occurrences stream out of the parallel enumeration engine.
 func SortOccurrences(occs []*Occurrence) {
-	sort.Slice(occs, func(i, j int) bool { return occs[i].Key() < occs[j].Key() })
+	sort.Slice(occs, func(i, j int) bool { return occs[i].Compare(occs[j]) < 0 })
 }

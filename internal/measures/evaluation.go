@@ -19,10 +19,17 @@ type Evaluation struct {
 
 // Evaluate computes the given measures on a context. When measures is empty
 // the full default set is evaluated: occurrence/instance counts, MNI, MI,
-// MVC (exact and approximate), MIES, MIS, the LP relaxations and MCP.
+// MVC (exact and approximate), MIES, MIS, the LP relaxations and MCP. On a
+// streaming context the default set shrinks to the measures computable from
+// streamed aggregates (the raw counts and MNI); explicitly requested measures
+// are never substituted and error out if they need materialized state.
 func Evaluate(ctx *core.Context, ms ...Measure) (*Evaluation, error) {
 	if len(ms) == 0 {
-		ms = DefaultSet()
+		if ctx.Materialized() {
+			ms = DefaultSet()
+		} else {
+			ms = StreamingSet()
+		}
 	}
 	ev := &Evaluation{Context: ctx, Results: make(map[string]Result, len(ms))}
 	for _, m := range ms {
@@ -50,6 +57,17 @@ func DefaultSet() []Measure {
 		NuMVC{},
 		NuMIES{},
 		MCP{},
+	}
+}
+
+// StreamingSet returns the measures computable on a streaming context: the
+// raw occurrence/instance counts and MNI, all of which are maintained
+// incrementally during enumeration.
+func StreamingSet() []Measure {
+	return []Measure{
+		RawCount{Instances: false},
+		RawCount{Instances: true},
+		MNI{},
 	}
 }
 

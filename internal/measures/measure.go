@@ -133,6 +133,17 @@ func (r *Registry) Names() []string {
 	return out
 }
 
+// requireMaterialized returns an error when a measure that needs the full
+// occurrence list or a hypergraph is computed on a streaming context. Only
+// MNI and the raw counts run on streamed aggregates; everything else needs a
+// context built without core.Options.Streaming.
+func requireMaterialized(ctx *core.Context, name string) error {
+	if ctx.Materialized() {
+		return nil
+	}
+	return fmt.Errorf("measures: %s requires a materialized context (build it without Streaming)", name)
+}
+
 // RawCount reports the plain occurrence or instance count. Neither is a valid
 // (anti-monotonic) support measure — the paper uses them as reference values,
 // and so do the experiments.

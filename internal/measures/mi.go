@@ -39,6 +39,9 @@ func (MI) Name() string { return NameMI }
 
 // Compute implements Measure.
 func (m MI) Compute(ctx *core.Context) (Result, error) {
+	if err := requireMaterialized(ctx, NameMI); err != nil {
+		return Result{}, err
+	}
 	occs := ctx.Occurrences()
 	if len(occs) == 0 {
 		return Result{Measure: NameMI, Value: 0, Exact: true}, nil

@@ -73,6 +73,9 @@ func (m MIS) Name() string {
 
 // Compute implements Measure.
 func (m MIS) Compute(ctx *core.Context) (Result, error) {
+	if err := requireMaterialized(ctx, m.Name()); err != nil {
+		return Result{}, err
+	}
 	if m.UseInstances && m.Overlap != SimpleOverlap {
 		return Result{}, fmt.Errorf("measures: %s overlap is defined on occurrences, not instances", m.Overlap)
 	}
@@ -182,6 +185,9 @@ func (m MIES) Name() string {
 
 // Compute implements Measure.
 func (m MIES) Compute(ctx *core.Context) (Result, error) {
+	if err := requireMaterialized(ctx, m.Name()); err != nil {
+		return Result{}, err
+	}
 	h := ctx.OccurrenceHypergraph()
 	if m.UseInstances {
 		h = ctx.InstanceHypergraph()
@@ -236,6 +242,9 @@ func (NuMIES) Name() string { return NameNuMIES }
 
 // Compute implements Measure.
 func (m NuMIES) Compute(ctx *core.Context) (Result, error) {
+	if err := requireMaterialized(ctx, NameNuMIES); err != nil {
+		return Result{}, err
+	}
 	h := ctx.OccurrenceHypergraph()
 	if m.UseInstances {
 		h = ctx.InstanceHypergraph()
@@ -268,6 +277,9 @@ func (MCP) Name() string { return NameMCP }
 
 // Compute implements Measure.
 func (m MCP) Compute(ctx *core.Context) (Result, error) {
+	if err := requireMaterialized(ctx, NameMCP); err != nil {
+		return Result{}, err
+	}
 	h := ctx.OccurrenceHypergraph()
 	if m.UseInstances {
 		h = ctx.InstanceHypergraph()

@@ -20,23 +20,35 @@ type MNI struct{}
 // Name implements Measure.
 func (MNI) Name() string { return NameMNI }
 
-// Compute implements Measure.
+// Compute implements Measure. On a streaming context the per-node image
+// domains were already accumulated incrementally during enumeration, so the
+// measure is read off the domain-size table without any occurrence list; on a
+// materialized context the occurrence list is scanned as before.
 func (MNI) Compute(ctx *core.Context) (Result, error) {
-	occs := ctx.Occurrences()
-	if len(occs) == 0 {
+	if ctx.NumOccurrences() == 0 {
 		return Result{Measure: NameMNI, Value: 0, Exact: true}, nil
 	}
 	nodes := ctx.Pattern().Nodes()
 	minCount := -1
 	minNode := nodes[0]
-	for _, n := range nodes {
-		images := make(map[graph.VertexID]bool, len(occs))
-		for _, o := range occs {
-			images[o.MustImage(n)] = true
+	if sizes := ctx.MNIDomainSizes(); sizes != nil {
+		for i, n := range nodes {
+			if minCount < 0 || sizes[i] < minCount {
+				minCount = sizes[i]
+				minNode = n
+			}
 		}
-		if minCount < 0 || len(images) < minCount {
-			minCount = len(images)
-			minNode = n
+	} else {
+		occs := ctx.Occurrences()
+		for _, n := range nodes {
+			images := make(map[graph.VertexID]bool, len(occs))
+			for _, o := range occs {
+				images[o.MustImage(n)] = true
+			}
+			if minCount < 0 || len(images) < minCount {
+				minCount = len(images)
+				minNode = n
+			}
 		}
 	}
 	return Result{
@@ -60,6 +72,9 @@ func (MNIK) Name() string { return NameMNIK }
 
 // Compute implements Measure.
 func (m MNIK) Compute(ctx *core.Context) (Result, error) {
+	if err := requireMaterialized(ctx, NameMNIK); err != nil {
+		return Result{}, err
+	}
 	k := m.K
 	if k < 1 {
 		k = 1

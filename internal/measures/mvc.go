@@ -48,6 +48,9 @@ func (m MVC) Name() string {
 
 // Compute implements Measure.
 func (m MVC) Compute(ctx *core.Context) (Result, error) {
+	if err := requireMaterialized(ctx, m.Name()); err != nil {
+		return Result{}, err
+	}
 	h := ctx.OccurrenceHypergraph()
 	if m.UseInstances {
 		h = ctx.InstanceHypergraph()
@@ -122,6 +125,9 @@ func (NuMVC) Name() string { return NameNuMVC }
 
 // Compute implements Measure.
 func (m NuMVC) Compute(ctx *core.Context) (Result, error) {
+	if err := requireMaterialized(ctx, NameNuMVC); err != nil {
+		return Result{}, err
+	}
 	h := ctx.OccurrenceHypergraph()
 	if m.UseInstances {
 		h = ctx.InstanceHypergraph()

@@ -44,6 +44,19 @@ type Config struct {
 	// paper's future work (Chapter 6); results are identical to a sequential
 	// run regardless of the setting.
 	Parallelism int
+	// EnumParallelism is the worker count of the per-candidate occurrence
+	// enumeration engine (core.Options.Parallelism): 0 picks GOMAXPROCS
+	// with a sequential fallback on tiny inputs, 1 forces the sequential
+	// path. When candidate-level Parallelism is active, an auto (zero)
+	// value resolves to sequential enumeration instead, so the two levels
+	// do not multiply into GOMAXPROCS² goroutines. Mining results are
+	// identical for every setting.
+	EnumParallelism int
+	// Streaming builds per-candidate contexts in streaming mode: occurrences
+	// are folded into incremental aggregates instead of being materialized.
+	// Only valid with measures that run on streamed aggregates (MNI and the
+	// raw counts); other measures fail the run with an error.
+	Streaming bool
 }
 
 // DefaultMaxPatternSize bounds pattern growth when the caller does not say
@@ -265,7 +278,18 @@ func (m *Miner) evaluateLevel(level []*pattern.Pattern) ([]levelEval, error) {
 
 // evaluate computes the configured support measure for one candidate.
 func (m *Miner) evaluate(p *pattern.Pattern) (FrequentPattern, bool, error) {
-	ctx, err := core.NewContext(m.g, p, core.Options{MaxOccurrences: m.cfg.MaxOccurrences})
+	enumPar := m.cfg.EnumParallelism
+	if enumPar == 0 && m.cfg.Parallelism > 1 {
+		// Candidate evaluations already run concurrently; auto-expanding
+		// the per-candidate enumeration on top would oversubscribe the
+		// machine with Parallelism x GOMAXPROCS workers.
+		enumPar = 1
+	}
+	ctx, err := core.NewContext(m.g, p, core.Options{
+		MaxOccurrences: m.cfg.MaxOccurrences,
+		Parallelism:    enumPar,
+		Streaming:      m.cfg.Streaming,
+	})
 	if err != nil {
 		return FrequentPattern{}, false, fmt.Errorf("miner: building context for %s: %w", p, err)
 	}

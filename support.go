@@ -136,14 +136,32 @@ func RandomGeometric(n int, radius float64, labelCount int, seed uint64) *Graph 
 
 // ContextOptions controls occurrence enumeration when building a Context.
 type ContextOptions struct {
-	// MaxOccurrences caps occurrence enumeration; zero means unlimited.
+	// MaxOccurrences caps occurrence enumeration; zero means unlimited. A
+	// positive cap forces sequential enumeration so the kept prefix is
+	// deterministic.
 	MaxOccurrences int
+	// Parallelism is the worker count of the streaming enumeration engine:
+	// 0 picks GOMAXPROCS (with a sequential fallback on tiny inputs), 1
+	// forces the deterministic sequential path, higher values are used as
+	// given. The resulting Context is identical for every setting.
+	Parallelism int
+	// Streaming skips materializing the occurrence list and hypergraphs;
+	// occurrences are folded into incremental aggregates as they stream out
+	// of the enumeration workers. Only MNI and the raw occurrence/instance
+	// counts can be computed on a streaming context.
+	Streaming bool
 }
 
 // NewContext enumerates the occurrences and instances of p in g and builds
-// the occurrence/instance hypergraphs all measures are computed from.
+// the occurrence/instance hypergraphs all measures are computed from. With
+// opts.Streaming the hypergraphs and occurrence list are skipped and only
+// MNI and the raw counts can be evaluated on the returned context.
 func NewContext(g *Graph, p *Pattern, opts ContextOptions) (*Context, error) {
-	return core.NewContext(g, p, core.Options{MaxOccurrences: opts.MaxOccurrences})
+	return core.NewContext(g, p, core.Options{
+		MaxOccurrences: opts.MaxOccurrences,
+		Parallelism:    opts.Parallelism,
+		Streaming:      opts.Streaming,
+	})
 }
 
 // MeasureNames returns every measure name known to NewMeasure, sorted.
@@ -156,7 +174,15 @@ func NewMeasure(name string) (Measure, error) { return measures.NewRegistry().Ne
 // named) for pattern p in graph g and returns the evaluation. It is the
 // one-call entry point for "what is the support of this pattern?".
 func Evaluate(g *Graph, p *Pattern, names ...string) (*Evaluation, error) {
-	ctx, err := core.NewContext(g, p, core.Options{})
+	return EvaluateWithOptions(g, p, ContextOptions{}, names...)
+}
+
+// EvaluateWithOptions is Evaluate with explicit context options: enumeration
+// parallelism, streaming mode and the occurrence cap. On a streaming context
+// with no explicit measure names only the streaming-capable measures (MNI and
+// the raw counts) are evaluated.
+func EvaluateWithOptions(g *Graph, p *Pattern, opts ContextOptions, names ...string) (*Evaluation, error) {
+	ctx, err := NewContext(g, p, opts)
 	if err != nil {
 		return nil, err
 	}
