@@ -12,6 +12,11 @@
 //	gbench -benchjson BENCH_enumeration.json
 //	                           # write the sequential-vs-parallel enumeration
 //	                           # timings as JSON and exit
+//	gbench -benchjson new.json -compare BENCH_enumeration.json
+//	                           # additionally gate the fresh timings against a
+//	                           # committed baseline: exit non-zero when any
+//	                           # sequential workload is >30% slower (the CI
+//	                           # benchmark gate)
 package main
 
 import (
@@ -30,6 +35,9 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "base PRNG seed for generated workloads")
 		list      = flag.Bool("list", false, "list experiment IDs and exit")
 		benchjson = flag.String("benchjson", "", "write the enumeration benchmark records to this JSON file and exit")
+		compare   = flag.String("compare", "", "compare freshly measured enumeration records against this baseline JSON and exit non-zero on sequential regression")
+		threshold = flag.Float64("threshold", bench.DefaultRegressionThreshold, "allowed fractional sequential slowdown for -compare (0.30 = 30%; 0 selects the default)")
+		shards    = flag.Int("shards", 0, "CSR snapshot shard count for the enumeration experiments (0 = auto)")
 	)
 	flag.Parse()
 
@@ -42,23 +50,43 @@ func main() {
 		return
 	}
 
-	if *benchjson != "" {
-		f, err := os.Create(*benchjson)
-		if err != nil {
-			fatal(err)
+	if *benchjson != "" || *compare != "" {
+		report := bench.NewEnumerationReport(bench.Config{Quick: *quick, Seed: *seed, Shards: *shards})
+		if *benchjson != "" {
+			f, err := os.Create(*benchjson)
+			if err != nil {
+				fatal(err)
+			}
+			if err := report.WriteJSON(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote enumeration benchmark records to %s\n", *benchjson)
 		}
-		if err := bench.WriteEnumerationJSON(f, bench.Config{Quick: *quick, Seed: *seed}); err != nil {
+		if *compare != "" {
+			f, err := os.Open(*compare)
+			if err != nil {
+				fatal(err)
+			}
+			baseline, err := bench.ReadEnumerationJSON(f)
 			f.Close()
-			fatal(err)
+			if err != nil {
+				fatal(err)
+			}
+			summary, err := bench.CompareEnumeration(baseline.Records, report.Records, *threshold)
+			fmt.Printf("comparing against %s (sequential gate: +%.0f%%)\n%s", *compare, *threshold*100, summary)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println("benchmark gate: OK")
 		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote enumeration benchmark records to %s\n", *benchjson)
 		return
 	}
 
-	cfg := bench.Config{Quick: *quick, Seed: *seed, CSV: *csv}
+	cfg := bench.Config{Quick: *quick, Seed: *seed, CSV: *csv, Shards: *shards}
 	if *exp == "" {
 		if err := reg.RunAll(os.Stdout, cfg); err != nil {
 			fatal(err)

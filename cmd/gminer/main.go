@@ -24,7 +24,9 @@ func main() {
 		top       = flag.Int("top", 0, "print only the top-N patterns by support (0 = all)")
 		workers   = flag.Int("workers", 0, "candidate evaluation workers per search level (<2 = sequential)")
 		parallel  = flag.Int("parallel", 0, "per-candidate enumeration workers (0 = GOMAXPROCS, or sequential when -workers >= 2; 1 = sequential)")
-		streaming = flag.Bool("streaming", false, "stream occurrences per candidate instead of materializing (MNI and raw counts only)")
+		shards    = flag.Int("shards", 0, "CSR snapshot shard count for per-candidate enumeration (0 = auto)")
+		streaming = flag.Bool("streaming", false, "force streaming contexts per candidate (MNI and raw counts only); streaming-capable measures stream by default")
+		material  = flag.Bool("materialize", false, "opt out of the default streaming contexts for streaming-capable measures (MNI)")
 	)
 	flag.Parse()
 
@@ -41,12 +43,14 @@ func main() {
 		fatal(err)
 	}
 	res, err := support.Mine(g, support.MinerConfig{
-		MinSupport:      *minsup,
-		MaxPatternSize:  *maxsize,
-		Measure:         m,
-		Parallelism:     *workers,
-		EnumParallelism: *parallel,
-		Streaming:       *streaming,
+		MinSupport:          *minsup,
+		MaxPatternSize:      *maxsize,
+		Measure:             m,
+		Parallelism:         *workers,
+		EnumParallelism:     *parallel,
+		EnumShards:          *shards,
+		Streaming:           *streaming,
+		MaterializeContexts: *material,
 	})
 	if err != nil {
 		fatal(err)

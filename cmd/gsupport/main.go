@@ -32,6 +32,7 @@ func main() {
 		list        = flag.Bool("list", false, "list available measure names and exit")
 		verify      = flag.Bool("verify", true, "verify the paper's bounding chain when all measures are computed")
 		parallel    = flag.Int("parallel", 0, "enumeration worker count (0 = GOMAXPROCS, 1 = sequential)")
+		shards      = flag.Int("shards", 0, "CSR snapshot shard count (0 = auto: one shard up to 65536 vertices)")
 		streaming   = flag.Bool("streaming", false, "stream occurrences instead of materializing them (restricts -measures to MNI and the raw counts)")
 	)
 	flag.Parse()
@@ -55,7 +56,7 @@ func main() {
 			names[i] = strings.TrimSpace(names[i])
 		}
 	}
-	opts := support.ContextOptions{Parallelism: *parallel, Streaming: *streaming}
+	opts := support.ContextOptions{Parallelism: *parallel, Shards: *shards, Streaming: *streaming}
 	ev, err := support.EvaluateWithOptions(g, p, opts, names...)
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultRegressionThreshold is the allowed fractional slowdown before the
+// benchmark gate fails: 0.30 means a workload may be up to 30% slower than
+// the committed baseline before CI turns red.
+const DefaultRegressionThreshold = 0.30
+
+// CompareEnumeration checks freshly measured enumeration records against a
+// baseline report (the committed BENCH_enumeration.json). Only sequential
+// records are gated — parallel timings depend on the host's core count and
+// scheduler, so they are reported but never fail the comparison. Records are
+// matched by (workload, pattern); baseline or current records without a
+// counterpart are noted and skipped.
+//
+// The returned summary always describes every comparison; the error is
+// non-nil iff at least one sequential workload regressed by more than
+// threshold (a fraction, e.g. 0.30 for 30%; zero selects
+// DefaultRegressionThreshold, negative values are rejected). The vertex count
+// and shard setting are part of the match key, so comparing a -quick run
+// against a full-size baseline, or a -shards run against an unsharded
+// baseline, finds no counterparts and fails loudly instead of reporting
+// ratios between different configurations.
+func CompareEnumeration(baseline, current []EnumerationRecord, threshold float64) (string, error) {
+	if threshold < 0 {
+		return "", fmt.Errorf("bench: regression threshold must be >= 0, got %g", threshold)
+	}
+	if threshold == 0 {
+		threshold = DefaultRegressionThreshold
+	}
+	type key struct {
+		workload, pattern, mode string
+		vertices, shards        int
+	}
+	base := make(map[key]EnumerationRecord, len(baseline))
+	for _, r := range baseline {
+		base[key{r.Workload, r.Pattern, r.Mode, r.Vertices, r.Shards}] = r
+	}
+
+	var (
+		b           strings.Builder
+		regressions []string
+		compared    int
+	)
+	for _, cur := range current {
+		k := key{cur.Workload, cur.Pattern, cur.Mode, cur.Vertices, cur.Shards}
+		bl, ok := base[k]
+		if !ok {
+			fmt.Fprintf(&b, "%-18s %-10s no baseline record, skipped\n", cur.Workload, cur.Mode)
+			continue
+		}
+		delete(base, k)
+		if bl.NsPerOp <= 0 {
+			fmt.Fprintf(&b, "%-18s %-10s invalid baseline ns/op %d, skipped\n", cur.Workload, cur.Mode, bl.NsPerOp)
+			continue
+		}
+		ratio := float64(cur.NsPerOp) / float64(bl.NsPerOp)
+		status := "ok"
+		gated := cur.Mode == "sequential"
+		if gated {
+			compared++
+			if ratio > 1+threshold {
+				status = "REGRESSED"
+				regressions = append(regressions, fmt.Sprintf("%s/%s %s: %d -> %d ns/op (%+.1f%%, limit %+.0f%%)",
+					cur.Workload, cur.Pattern, cur.Mode, bl.NsPerOp, cur.NsPerOp, (ratio-1)*100, threshold*100))
+			}
+		} else {
+			status = "informational"
+		}
+		fmt.Fprintf(&b, "%-18s %-10s %12d -> %12d ns/op  %+7.1f%%  %s\n",
+			cur.Workload, cur.Mode, bl.NsPerOp, cur.NsPerOp, (ratio-1)*100, status)
+	}
+	for k := range base {
+		fmt.Fprintf(&b, "%-18s %-10s baseline record has no current counterpart\n", k.workload, k.mode)
+	}
+
+	if len(regressions) > 0 {
+		return b.String(), fmt.Errorf("bench: %d of %d sequential workloads regressed beyond %.0f%%:\n  %s",
+			len(regressions), compared, threshold*100, strings.Join(regressions, "\n  "))
+	}
+	if compared == 0 {
+		return b.String(), fmt.Errorf("bench: no comparable sequential records between baseline and current run")
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func seqRecord(workload string, ns int64) EnumerationRecord {
+	return EnumerationRecord{Workload: workload, Pattern: "star4", Mode: "sequential", Parallelism: 1, NsPerOp: ns}
+}
+
+func parRecord(workload string, ns int64) EnumerationRecord {
+	return EnumerationRecord{Workload: workload, Pattern: "star4", Mode: "parallel", NsPerOp: ns}
+}
+
+// TestCompareEnumerationPassesWithinThreshold checks that jitter below the
+// gate (including faster runs) passes, and that parallel records never gate.
+func TestCompareEnumerationPassesWithinThreshold(t *testing.T) {
+	baseline := []EnumerationRecord{seqRecord("er", 1000), seqRecord("ba", 2000), parRecord("er", 900)}
+	current := []EnumerationRecord{seqRecord("er", 1250), seqRecord("ba", 1500), parRecord("er", 9000)}
+	summary, err := CompareEnumeration(baseline, current, 0.30)
+	if err != nil {
+		t.Fatalf("within-threshold comparison failed: %v\n%s", err, summary)
+	}
+	if !strings.Contains(summary, "informational") {
+		t.Errorf("summary does not mark parallel records informational:\n%s", summary)
+	}
+}
+
+// TestCompareEnumerationFailsOnInjectedSlowdown is the local stand-in for the
+// CI gate's acceptance criterion: a 2x sequential slowdown must fail.
+func TestCompareEnumerationFailsOnInjectedSlowdown(t *testing.T) {
+	baseline := []EnumerationRecord{seqRecord("er", 1000), seqRecord("ba", 2000)}
+	current := []EnumerationRecord{seqRecord("er", 2000), seqRecord("ba", 2100)}
+	summary, err := CompareEnumeration(baseline, current, 0.30)
+	if err == nil {
+		t.Fatalf("2x sequential slowdown passed the gate:\n%s", summary)
+	}
+	if !strings.Contains(err.Error(), "er/star4") {
+		t.Errorf("regression error does not name the regressed workload: %v", err)
+	}
+	if strings.Contains(err.Error(), "ba/star4") {
+		t.Errorf("regression error names the non-regressed workload: %v", err)
+	}
+}
+
+// TestCompareEnumerationMismatchedWorkloads checks that unmatched records are
+// skipped without failing the gate, and that an empty intersection errors.
+func TestCompareEnumerationMismatchedWorkloads(t *testing.T) {
+	baseline := []EnumerationRecord{seqRecord("er", 1000), seqRecord("gone", 500)}
+	current := []EnumerationRecord{seqRecord("er", 1000), seqRecord("new", 100)}
+	summary, err := CompareEnumeration(baseline, current, 0.30)
+	if err != nil {
+		t.Fatalf("comparison with extra workloads failed: %v", err)
+	}
+	if !strings.Contains(summary, "no baseline record") || !strings.Contains(summary, "no current counterpart") {
+		t.Errorf("summary does not note unmatched records:\n%s", summary)
+	}
+
+	if _, err := CompareEnumeration([]EnumerationRecord{seqRecord("a", 1)}, []EnumerationRecord{seqRecord("b", 1)}, 0.30); err == nil {
+		t.Error("comparison with no overlapping workloads should error")
+	}
+
+	// Different shard settings are different configurations, not comparable.
+	sharded := seqRecord("er", 1000)
+	sharded.Shards = 8
+	if _, err := CompareEnumeration([]EnumerationRecord{seqRecord("er", 1000)}, []EnumerationRecord{sharded}, 0.30); err == nil {
+		t.Error("comparison of a sharded run against an unsharded baseline should error")
+	}
+}
+
+// TestCompareEnumerationThresholdValidation checks the threshold contract:
+// zero selects the default, negative values are rejected.
+func TestCompareEnumerationThresholdValidation(t *testing.T) {
+	baseline := []EnumerationRecord{seqRecord("er", 1000)}
+	if _, err := CompareEnumeration(baseline, []EnumerationRecord{seqRecord("er", 1200)}, 0); err != nil {
+		t.Errorf("threshold 0 should fall back to the %v%% default: %v", DefaultRegressionThreshold*100, err)
+	}
+	if _, err := CompareEnumeration(baseline, baseline, -0.1); err == nil {
+		t.Error("negative threshold should be rejected")
+	}
+}
+
+// TestEnumerationReportRoundTrip checks the JSON write/read pair the CI gate
+// relies on to load the committed baseline.
+func TestEnumerationReportRoundTrip(t *testing.T) {
+	report := &EnumerationReport{
+		Experiment: "enumeration",
+		GoMaxProcs: 4,
+		Seed:       1,
+		Records:    []EnumerationRecord{seqRecord("er", 1000), parRecord("er", 400)},
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEnumerationJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Experiment != report.Experiment || len(back.Records) != len(report.Records) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	for i, r := range back.Records {
+		if r != report.Records[i] {
+			t.Errorf("record %d round-tripped to %+v, want %+v", i, r, report.Records[i])
+		}
+	}
+}

@@ -16,6 +16,11 @@ type Config struct {
 	Seed uint64
 	// CSV selects CSV output instead of aligned text.
 	CSV bool
+	// Shards is the CSR snapshot shard count used by the enumeration
+	// experiments (isomorph.Options.Shards): 0 keeps the graph's automatic
+	// sharding. The sharding experiment sweeps its own shard counts and
+	// ignores this knob.
+	Shards int
 }
 
 // DefaultConfig is the configuration used by cmd/gbench when no flags are
@@ -85,6 +90,7 @@ func allExperiments() []Experiment {
 		figuresExperiment(),
 		chainExperiment(),
 		enumerationExperiment(),
+		shardingExperiment(),
 		scalingExperiment(),
 		approxExperiment(),
 		lpExperiment(),

@@ -66,6 +66,12 @@ type Options struct {
 	// sequential path, higher values are used as given. The resulting
 	// Context is identical for every setting.
 	Parallelism int
+	// Shards is the CSR shard count of the frozen snapshot enumeration runs
+	// on: 0 keeps the graph's automatic sharding, positive values split the
+	// vertex range into at most that many contiguous shards (see
+	// isomorph.Options.Shards). The resulting Context is identical for every
+	// setting.
+	Shards int
 	// Streaming skips materializing the occurrence list, the instance list
 	// and both hypergraphs; only the incremental aggregates (occurrence and
 	// instance counts, MNI domain tables) are kept. Measures that need the
@@ -172,7 +178,7 @@ func NewContext(g *graph.Graph, p *pattern.Pattern, opts Options) (*Context, err
 
 	var accs []*workerAcc
 	isomorph.EnumerateWorkers(g, p,
-		isomorph.Options{MaxOccurrences: opts.MaxOccurrences, Parallelism: opts.Parallelism},
+		isomorph.Options{MaxOccurrences: opts.MaxOccurrences, Parallelism: opts.Parallelism, Shards: opts.Shards},
 		func(int) func(*isomorph.Occurrence) bool {
 			a := &workerAcc{}
 			accs = append(accs, a)

@@ -62,6 +62,36 @@ func TestStreamingContextOmitsMaterializedState(t *testing.T) {
 	}
 }
 
+// TestContextIdenticalAcrossShards checks the shards knob end to end through
+// context construction: occurrence order, instance grouping and the streamed
+// aggregates must be identical for every shard count and parallelism.
+func TestContextIdenticalAcrossShards(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, gen.UniformLabels{K: 2}, 11)
+	tri := pattern.MustNew(graph.NewBuilder("tri").Vertices(1, 0, 1, 2).Cycle(0, 1, 2).MustBuild())
+
+	base := core.MustNewContext(g, tri, core.Options{Parallelism: 1})
+	for _, shards := range []int{1, 2, 7} {
+		for _, par := range []int{1, 4} {
+			ctx := core.MustNewContext(g, tri, core.Options{Parallelism: par, Shards: shards})
+			if ctx.NumOccurrences() != base.NumOccurrences() || ctx.NumInstances() != base.NumInstances() {
+				t.Fatalf("shards=%d par=%d: %d/%d occurrences/instances, want %d/%d",
+					shards, par, ctx.NumOccurrences(), ctx.NumInstances(), base.NumOccurrences(), base.NumInstances())
+			}
+			for i, o := range ctx.Occurrences() {
+				if o.Key() != base.Occurrences()[i].Key() {
+					t.Fatalf("shards=%d par=%d: occurrence %d is %s, unsharded has %s",
+						shards, par, i, o.Key(), base.Occurrences()[i].Key())
+				}
+			}
+			st := core.MustNewContext(g, tri, core.Options{Parallelism: par, Shards: shards, Streaming: true})
+			if st.NumOccurrences() != base.NumOccurrences() || st.NumInstances() != base.NumInstances() {
+				t.Fatalf("shards=%d par=%d streaming: %d/%d occurrences/instances, want %d/%d",
+					shards, par, st.NumOccurrences(), st.NumInstances(), base.NumOccurrences(), base.NumInstances())
+			}
+		}
+	}
+}
+
 // TestMaterializedContextIdenticalAcrossParallelism checks the parallel
 // engine end to end through context construction: hypergraphs, occurrence
 // order and instance grouping must be identical for every parallelism value.

@@ -72,9 +72,10 @@ type Graph struct {
 
 	name string
 
-	// snap caches the CSR snapshot built by Freeze; mutations invalidate it.
+	// snaps caches the CSR snapshots built by Freeze/FreezeSharded, keyed by
+	// resolved shard size; mutations invalidate every entry.
 	snapMu sync.Mutex
-	snap   *Snapshot
+	snaps  map[int]*Snapshot
 }
 
 // New returns an empty graph with an optional name used in diagnostics.

@@ -1,6 +1,9 @@
 package graph
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Snapshot is an immutable, cache-friendly view of a Graph: adjacency in
 // compressed sparse row (CSR) form over dense vertex indexes, per-index label
@@ -10,109 +13,293 @@ import "sort"
 // are contiguous, and the whole structure is safe for unsynchronized
 // concurrent readers.
 //
+// A Snapshot is backed by one or more shards, each covering a contiguous
+// range of dense indexes with its own independently allocated CSR arrays
+// (adjacency, labels, label partition). Sharding bounds the size of any
+// single allocation and lets parallel enumeration workers keep their hot
+// loops inside one shard's arrays; neighbor references in the column arrays
+// are global dense indexes, so cross-shard edges need no translation. All
+// shards share one fixed vertex-count granularity, so routing an index to its
+// shard is a single division — Neighbors, Degree and label lookups stay O(1)
+// regardless of the shard count.
+//
 // Dense indexes are assigned in increasing VertexID order, so index order and
 // ID order coincide and every per-row neighbor list is sorted. Obtain a
-// Snapshot with Graph.Freeze; never mutate the slices it returns.
+// Snapshot with Graph.Freeze or Graph.FreezeSharded; never mutate the slices
+// it returns.
 type Snapshot struct {
 	name string
 
-	// ids maps dense index -> original VertexID, sorted ascending.
-	ids []VertexID
-	// labels[i] is the label of vertex ids[i].
-	labels []Label
-	// rowPtr/colIdx are the CSR adjacency: the neighbors of index i are
-	// colIdx[rowPtr[i]:rowPtr[i+1]], each a dense index, sorted ascending.
-	rowPtr []int32
-	colIdx []int32
-	// byLabel partitions dense indexes by label, each slice sorted ascending.
-	byLabel map[Label][]int32
-
+	n        int // total vertex count
 	numEdges int
+	// shardShift is the log2 of the dense-index granularity: shard k covers
+	// indexes [k<<shardShift, min((k+1)<<shardShift, n)). Shard sizes are
+	// always powers of two so that routing an index to its shard is a single
+	// shift on the enumeration hot path rather than a division.
+	shardShift uint
+	shards     []shard
+
+	// byLabel is the thin cross-shard index: the global sorted dense-index
+	// list per label, concatenated from the per-shard partitions on first
+	// use so IndexesWithLabel stays a single O(1) map lookup afterwards.
+	// Built lazily because the enumeration hot path works from the per-shard
+	// partitions and never needs the full-graph concatenation.
+	byLabelOnce sync.Once
+	byLabel     map[Label][]int32
 }
 
-// Freeze returns the CSR snapshot of the graph, building it on first use and
+// shard is one contiguous dense-index range of a Snapshot with its own CSR
+// arrays. All slices are allocated per shard; colIdx entries are global dense
+// indexes (they may point into other shards).
+type shard struct {
+	lo int32 // first global dense index of this shard
+
+	// ids maps local offset -> original VertexID, sorted ascending.
+	ids []VertexID
+	// labels[j] is the label of ids[j].
+	labels []Label
+	// rowPtr/colIdx are the shard-local CSR adjacency: the neighbors of
+	// global index i in this shard are colIdx[rowPtr[i-lo]:rowPtr[i-lo+1]],
+	// each a global dense index, sorted ascending.
+	rowPtr []int32
+	colIdx []int32
+	// byLabel partitions this shard's global dense indexes by label, each
+	// slice sorted ascending.
+	byLabel map[Label][]int32
+}
+
+// DefaultShardSize is the auto-mode shard granularity: graphs with at most
+// this many vertices freeze into a single shard, larger graphs are split into
+// DefaultShardSize-vertex shards so no CSR allocation grows with the full
+// graph.
+const DefaultShardSize = 1 << 16
+
+// FreezeOptions controls how Graph.FreezeSharded partitions the snapshot.
+// Shard sizes are always rounded up to the next power of two so index-to-
+// shard routing stays a single shift; the effective shard count is therefore
+// at most the requested one.
+type FreezeOptions struct {
+	// Shards is the desired shard count; the vertex range is split into
+	// contiguous equal-size shards (the last may be smaller) sized so that at
+	// most Shards result. Zero means auto: a single shard up to
+	// DefaultShardSize vertices, DefaultShardSize-vertex shards beyond that.
+	// Ignored when ShardSize is set.
+	Shards int
+	// ShardSize fixes the number of vertices per shard directly (rounded up
+	// to the next power of two) and takes precedence over Shards when
+	// positive.
+	ShardSize int
+}
+
+// resolveShardShift maps freeze options to the log2 of the per-shard vertex
+// count for a graph with n vertices: the smallest power of two holding the
+// requested shard size.
+func resolveShardShift(opts FreezeOptions, n int) uint {
+	size := 0
+	switch {
+	case opts.ShardSize > 0:
+		size = opts.ShardSize
+	case opts.Shards > 0:
+		size = (n + opts.Shards - 1) / opts.Shards
+	case n > DefaultShardSize:
+		size = DefaultShardSize
+	default:
+		size = n
+	}
+	shift := uint(0)
+	for 1<<shift < size {
+		shift++
+	}
+	return shift
+}
+
+// Freeze returns the CSR snapshot of the graph with automatic sharding (a
+// single shard up to DefaultShardSize vertices), building it on first use and
 // caching it until the next mutation. The returned snapshot is immutable and
 // safe for concurrent readers; concurrent Freeze calls are synchronized, but
 // (as with all Graph readers) Freeze must not race with AddVertex/AddEdge.
 func (g *Graph) Freeze() *Snapshot {
-	g.snapMu.Lock()
-	defer g.snapMu.Unlock()
-	if g.snap == nil {
-		g.snap = buildSnapshot(g)
-	}
-	return g.snap
+	return g.FreezeSharded(FreezeOptions{})
 }
 
-// invalidateSnapshot drops the cached snapshot after a mutation.
+// FreezeSharded is Freeze with explicit control over the shard partition.
+// Snapshots are cached per resolved shard size, so alternating callers with
+// different options do not rebuild each other's snapshots; every cached
+// snapshot is dropped on the next mutation.
+// maxCachedSnapshots bounds how many shard granularities of one graph stay
+// cached at once; each entry is a complete CSR copy, so an unbounded cache
+// would multiply memory on exactly the large graphs sharding targets.
+const maxCachedSnapshots = 4
+
+func (g *Graph) FreezeSharded(opts FreezeOptions) *Snapshot {
+	shift := resolveShardShift(opts, g.NumVertices())
+	g.snapMu.Lock()
+	defer g.snapMu.Unlock()
+	if s, ok := g.snaps[int(shift)]; ok {
+		return s
+	}
+	s := buildSnapshot(g, shift)
+	if g.snaps == nil {
+		g.snaps = make(map[int]*Snapshot)
+	}
+	if len(g.snaps) >= maxCachedSnapshots {
+		for k := range g.snaps { // evict an arbitrary granularity
+			delete(g.snaps, k)
+			break
+		}
+	}
+	g.snaps[int(shift)] = s
+	return s
+}
+
+// invalidateSnapshot drops every cached snapshot after a mutation.
 func (g *Graph) invalidateSnapshot() {
 	g.snapMu.Lock()
-	g.snap = nil
+	g.snaps = nil
 	g.snapMu.Unlock()
 }
 
-// buildSnapshot constructs the CSR form of g.
-func buildSnapshot(g *Graph) *Snapshot {
+// buildSnapshot constructs the sharded CSR form of g with 1<<shardShift
+// vertices per shard.
+func buildSnapshot(g *Graph, shardShift uint) *Snapshot {
 	n := g.NumVertices()
+	shardSize := 1 << shardShift
 	s := &Snapshot{
-		name:     g.name,
-		ids:      g.SortedVertices(),
-		labels:   make([]Label, n),
-		rowPtr:   make([]int32, n+1),
-		colIdx:   make([]int32, 0, 2*g.NumEdges()),
-		byLabel:  make(map[Label][]int32, len(g.byLabel)),
-		numEdges: g.NumEdges(),
+		name:       g.name,
+		n:          n,
+		numEdges:   g.NumEdges(),
+		shardShift: shardShift,
 	}
+	ids := g.SortedVertices()
 	indexOf := make(map[VertexID]int32, n)
-	for i, v := range s.ids {
+	for i, v := range ids {
 		indexOf[v] = int32(i)
 	}
-	for i, v := range s.ids {
-		l := g.labels[v]
-		s.labels[i] = l
-		s.byLabel[l] = append(s.byLabel[l], int32(i))
-		row := make([]int32, 0, len(g.adjacency[v]))
-		for _, w := range g.adjacency[v] {
-			row = append(row, indexOf[w])
-		}
-		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
-		s.colIdx = append(s.colIdx, row...)
-		s.rowPtr[i+1] = int32(len(s.colIdx))
+
+	numShards := 0
+	if n > 0 {
+		numShards = (n + shardSize - 1) / shardSize
 	}
+	s.shards = make([]shard, numShards)
+	for k := range s.shards {
+		lo := k * shardSize
+		hi := lo + shardSize
+		if hi > n {
+			hi = n
+		}
+		sh := &s.shards[k]
+		sh.lo = int32(lo)
+		sh.ids = make([]VertexID, hi-lo)
+		copy(sh.ids, ids[lo:hi])
+		sh.labels = make([]Label, hi-lo)
+		sh.rowPtr = make([]int32, hi-lo+1)
+		sh.byLabel = make(map[Label][]int32)
+		for i := lo; i < hi; i++ {
+			v := ids[i]
+			l := g.labels[v]
+			sh.labels[i-lo] = l
+			sh.byLabel[l] = append(sh.byLabel[l], int32(i))
+			row := make([]int32, 0, len(g.adjacency[v]))
+			for _, w := range g.adjacency[v] {
+				row = append(row, indexOf[w])
+			}
+			sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+			sh.colIdx = append(sh.colIdx, row...)
+			sh.rowPtr[i-lo+1] = int32(len(sh.colIdx))
+		}
+	}
+
 	return s
+}
+
+// buildLabelIndex materializes the cross-shard label index: shard ranges are
+// increasing and each per-shard partition is sorted, so concatenation in
+// shard order is globally sorted.
+func (s *Snapshot) buildLabelIndex() {
+	byLabel := make(map[Label][]int32)
+	for k := range s.shards {
+		for l, idxs := range s.shards[k].byLabel {
+			byLabel[l] = append(byLabel[l], idxs...)
+		}
+	}
+	s.byLabel = byLabel
+}
+
+// shardFor routes a global dense index to its owning shard.
+func (s *Snapshot) shardFor(i int32) *shard {
+	return &s.shards[i>>s.shardShift]
 }
 
 // Name returns the name of the frozen graph.
 func (s *Snapshot) Name() string { return s.name }
 
 // NumVertices returns |V|.
-func (s *Snapshot) NumVertices() int { return len(s.ids) }
+func (s *Snapshot) NumVertices() int { return s.n }
 
 // NumEdges returns |E|.
 func (s *Snapshot) NumEdges() int { return s.numEdges }
 
+// NumShards returns the number of CSR shards backing the snapshot.
+func (s *Snapshot) NumShards() int { return len(s.shards) }
+
+// ShardSize returns the dense-index granularity of the shard partition
+// (always a power of two): shard k covers indexes
+// [k*ShardSize(), min((k+1)*ShardSize(), NumVertices())).
+func (s *Snapshot) ShardSize() int { return 1 << s.shardShift }
+
+// ShardOf returns the shard number owning dense index i.
+func (s *Snapshot) ShardOf(i int32) int { return int(i >> s.shardShift) }
+
+// ShardRange returns the half-open global dense-index range [lo, hi) covered
+// by shard k.
+func (s *Snapshot) ShardRange(k int) (lo, hi int32) {
+	sh := &s.shards[k]
+	return sh.lo, sh.lo + int32(len(sh.ids))
+}
+
+// ShardIndexesWithLabel returns the sorted global dense indexes of shard k's
+// vertices carrying the given label, as a shared slice. Callers must not
+// modify it.
+func (s *Snapshot) ShardIndexesWithLabel(k int, l Label) []int32 {
+	return s.shards[k].byLabel[l]
+}
+
 // ID returns the VertexID of dense index i.
-func (s *Snapshot) ID(i int32) VertexID { return s.ids[i] }
+func (s *Snapshot) ID(i int32) VertexID {
+	sh := s.shardFor(i)
+	return sh.ids[i-sh.lo]
+}
 
 // IndexOf returns the dense index of vertex v. The second return value
 // reports whether the vertex exists.
 func (s *Snapshot) IndexOf(v VertexID) (int32, bool) {
-	i := sort.Search(len(s.ids), func(k int) bool { return s.ids[k] >= v })
-	if i < len(s.ids) && s.ids[i] == v {
+	i := sort.Search(s.n, func(k int) bool { return s.ID(int32(k)) >= v })
+	if i < s.n && s.ID(int32(i)) == v {
 		return int32(i), true
 	}
 	return 0, false
 }
 
 // LabelAt returns the label of dense index i.
-func (s *Snapshot) LabelAt(i int32) Label { return s.labels[i] }
+func (s *Snapshot) LabelAt(i int32) Label {
+	sh := s.shardFor(i)
+	return sh.labels[i-sh.lo]
+}
 
 // DegreeAt returns the degree of dense index i.
-func (s *Snapshot) DegreeAt(i int32) int { return int(s.rowPtr[i+1] - s.rowPtr[i]) }
+func (s *Snapshot) DegreeAt(i int32) int {
+	sh := s.shardFor(i)
+	j := i - sh.lo
+	return int(sh.rowPtr[j+1] - sh.rowPtr[j])
+}
 
 // NeighborsAt returns the sorted dense-index neighbor list of index i as a
-// shared sub-slice of the CSR column array. Callers must not modify it.
+// shared sub-slice of the owning shard's CSR column array. Callers must not
+// modify it.
 func (s *Snapshot) NeighborsAt(i int32) []int32 {
-	return s.colIdx[s.rowPtr[i]:s.rowPtr[i+1]]
+	sh := s.shardFor(i)
+	j := i - sh.lo
+	return sh.colIdx[sh.rowPtr[j]:sh.rowPtr[j+1]]
 }
 
 // HasEdgeAt reports whether the undirected edge between dense indexes u and v
@@ -127,8 +314,14 @@ func (s *Snapshot) HasEdgeAt(u, v int32) bool {
 }
 
 // IndexesWithLabel returns the sorted dense indexes of all vertices carrying
-// the given label, as a shared slice. Callers must not modify it.
-func (s *Snapshot) IndexesWithLabel(l Label) []int32 { return s.byLabel[l] }
+// the given label, as a shared slice. Callers must not modify it. The
+// cross-shard concatenation is built on first call (synchronized, so
+// concurrent readers are safe); per-shard consumers should prefer
+// ShardIndexesWithLabel, which never materializes a full-graph index.
+func (s *Snapshot) IndexesWithLabel(l Label) []int32 {
+	s.byLabelOnce.Do(s.buildLabelIndex)
+	return s.byLabel[l]
+}
 
 // Degree returns the degree of vertex v (0 if the vertex does not exist).
 func (s *Snapshot) Degree(v VertexID) int {
@@ -161,7 +354,7 @@ func (s *Snapshot) Neighbors(v VertexID) []VertexID {
 	row := s.NeighborsAt(i)
 	out := make([]VertexID, len(row))
 	for k, j := range row {
-		out[k] = s.ids[j]
+		out[k] = s.ID(j)
 	}
 	return out
 }

@@ -71,6 +71,120 @@ func TestFreezeMatchesGraph(t *testing.T) {
 	}
 }
 
+// buildChainGraph returns a deterministic 40-vertex graph with a mix of
+// local chain edges and longer chords, so sharded freezes have plenty of
+// cross-shard adjacency to get wrong.
+func buildChainGraph() *Graph {
+	g := New("chain")
+	const n = 40
+	for v := 0; v < n; v++ {
+		g.MustAddVertex(VertexID(v*3), Label(v%3+1)) // non-dense IDs
+	}
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(VertexID(v*3), VertexID((v+1)*3))
+	}
+	for v := 0; v+7 < n; v += 5 {
+		g.MustAddEdge(VertexID(v*3), VertexID((v+7)*3))
+	}
+	return g
+}
+
+// TestFreezeShardedMatchesUnsharded checks that every Snapshot accessor is
+// identical between the single-shard freeze and sharded freezes of assorted
+// granularities, including shard counts that do not divide the vertex count.
+func TestFreezeShardedMatchesUnsharded(t *testing.T) {
+	g := buildChainGraph()
+	flat := g.FreezeSharded(FreezeOptions{Shards: 1})
+	if flat.NumShards() != 1 {
+		t.Fatalf("Shards:1 built %d shards", flat.NumShards())
+	}
+	for _, opts := range []FreezeOptions{
+		{Shards: 2}, {Shards: 7}, {ShardSize: 1}, {ShardSize: 3}, {ShardSize: 64},
+	} {
+		s := g.FreezeSharded(opts)
+		if s.NumVertices() != flat.NumVertices() || s.NumEdges() != flat.NumEdges() {
+			t.Fatalf("%+v: size %d/%d, want %d/%d", opts, s.NumVertices(), s.NumEdges(), flat.NumVertices(), flat.NumEdges())
+		}
+		wantShards := (g.NumVertices() + s.ShardSize() - 1) / s.ShardSize()
+		if s.NumShards() != wantShards {
+			t.Errorf("%+v: NumShards = %d, want %d", opts, s.NumShards(), wantShards)
+		}
+		// The shard ranges must partition [0, n) contiguously.
+		next := int32(0)
+		for k := 0; k < s.NumShards(); k++ {
+			lo, hi := s.ShardRange(k)
+			if lo != next || hi <= lo {
+				t.Fatalf("%+v: shard %d covers [%d,%d), want lo=%d", opts, k, lo, hi, next)
+			}
+			for i := lo; i < hi; i++ {
+				if s.ShardOf(i) != k {
+					t.Fatalf("%+v: ShardOf(%d) = %d, want %d", opts, i, s.ShardOf(i), k)
+				}
+			}
+			next = hi
+		}
+		if int(next) != s.NumVertices() {
+			t.Fatalf("%+v: shards cover [0,%d), want [0,%d)", opts, next, s.NumVertices())
+		}
+		for i := int32(0); i < int32(s.NumVertices()); i++ {
+			if s.ID(i) != flat.ID(i) || s.LabelAt(i) != flat.LabelAt(i) || s.DegreeAt(i) != flat.DegreeAt(i) {
+				t.Fatalf("%+v: index %d: id/label/degree %d/%d/%d, want %d/%d/%d", opts, i,
+					s.ID(i), s.LabelAt(i), s.DegreeAt(i), flat.ID(i), flat.LabelAt(i), flat.DegreeAt(i))
+			}
+			row, want := s.NeighborsAt(i), flat.NeighborsAt(i)
+			if len(row) != len(want) {
+				t.Fatalf("%+v: neighbors of %d: %v, want %v", opts, i, row, want)
+			}
+			for k := range want {
+				if row[k] != want[k] {
+					t.Fatalf("%+v: neighbors of %d: %v, want %v", opts, i, row, want)
+				}
+			}
+			if j, ok := s.IndexOf(s.ID(i)); !ok || j != i {
+				t.Fatalf("%+v: IndexOf(ID(%d)) = (%d, %v)", opts, i, j, ok)
+			}
+		}
+		// The cross-shard label index must equal the flat one and the
+		// concatenation of the per-shard partitions.
+		for _, l := range g.Labels() {
+			got, want := s.IndexesWithLabel(l), flat.IndexesWithLabel(l)
+			if len(got) != len(want) {
+				t.Fatalf("%+v: label %d: %v, want %v", opts, l, got, want)
+			}
+			var concat []int32
+			for k := 0; k < s.NumShards(); k++ {
+				concat = append(concat, s.ShardIndexesWithLabel(k, l)...)
+			}
+			for k := range want {
+				if got[k] != want[k] || concat[k] != want[k] {
+					t.Fatalf("%+v: label %d: global %v, concat %v, want %v", opts, l, got, concat, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFreezeShardedCaching checks that snapshots are cached per resolved
+// shard size and that mutations drop every cached entry.
+func TestFreezeShardedCaching(t *testing.T) {
+	g := buildTestGraph()
+	flat := g.Freeze()
+	if s := g.FreezeSharded(FreezeOptions{Shards: 1}); s != flat {
+		t.Error("Shards:1 and auto freeze of a small graph did not share the cached snapshot")
+	}
+	two := g.FreezeSharded(FreezeOptions{Shards: 2})
+	if two == flat {
+		t.Error("Shards:2 returned the single-shard snapshot")
+	}
+	if again := g.FreezeSharded(FreezeOptions{Shards: 2}); again != two {
+		t.Error("second Shards:2 freeze was not cached")
+	}
+	g.MustAddVertex(99, 1)
+	if stale := g.FreezeSharded(FreezeOptions{Shards: 2}); stale == two {
+		t.Error("mutation did not invalidate the sharded snapshot cache")
+	}
+}
+
 func TestFreezeCachesAndInvalidates(t *testing.T) {
 	g := buildTestGraph()
 	s1 := g.Freeze()

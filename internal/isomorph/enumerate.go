@@ -23,6 +23,15 @@ type Options struct {
 	// 1 forces the deterministic sequential path; values above 1 are used
 	// as given.
 	Parallelism int
+	// Shards selects the shard count of the frozen CSR snapshot the search
+	// runs on: 0 keeps the graph's automatic sharding (a single shard up to
+	// graph.DefaultShardSize vertices), positive values split the vertex
+	// range into at most that many contiguous shards (shard sizes round up
+	// to powers of two). Root candidates are partitioned
+	// shard-first, so parallel workers drain whole shards — keeping their hot
+	// loops inside one shard's arrays — before stealing across shards. The
+	// enumerated occurrence set is identical for every setting.
+	Shards int
 }
 
 // workers resolves the effective worker count for a search with the given
@@ -66,18 +75,24 @@ type searchPlan struct {
 	// neighbor of the depth-d candidate.
 	anchors [][]int
 
-	roots []int32 // dense-index root candidates (label and degree pruned)
+	// rootsByShard holds the label- and degree-pruned root candidates of each
+	// non-empty snapshot shard, in ascending shard (and therefore global
+	// index) order. Keeping the partition shard-first lets parallel workers
+	// own whole shards before stealing across them; concatenated in order it
+	// is exactly the sorted global candidate list the sequential path walks.
+	rootsByShard [][]int32
+	numRoots     int
 }
 
 // newSearchPlan freezes g and compiles the matching order of p against the
 // snapshot. It returns nil when the pattern cannot occur at all (empty
 // pattern, or a label absent from the data graph).
-func newSearchPlan(g *graph.Graph, p *pattern.Pattern) *searchPlan {
+func newSearchPlan(g *graph.Graph, p *pattern.Pattern, opts Options) *searchPlan {
 	order := searchOrder(p)
 	if len(order) == 0 {
 		return nil
 	}
-	snap := g.Freeze()
+	snap := g.FreezeSharded(graph.FreezeOptions{Shards: opts.Shards})
 	nodes := p.Nodes()
 	posOf := make(map[pattern.NodeID]int, len(nodes))
 	for i, n := range nodes {
@@ -106,12 +121,19 @@ func newSearchPlan(g *graph.Graph, p *pattern.Pattern) *searchPlan {
 		depthOf[n] = d
 	}
 
-	for _, c := range snap.IndexesWithLabel(pl.label[0]) {
-		if snap.DegreeAt(c) >= pl.minDeg[0] {
-			pl.roots = append(pl.roots, c)
+	for s := 0; s < snap.NumShards(); s++ {
+		var roots []int32
+		for _, c := range snap.ShardIndexesWithLabel(s, pl.label[0]) {
+			if snap.DegreeAt(c) >= pl.minDeg[0] {
+				roots = append(roots, c)
+			}
+		}
+		if len(roots) > 0 {
+			pl.rootsByShard = append(pl.rootsByShard, roots)
+			pl.numRoots += len(roots)
 		}
 	}
-	if len(pl.roots) == 0 {
+	if pl.numRoots == 0 {
 		return nil
 	}
 	return pl
@@ -238,11 +260,11 @@ func (s *searchState) emit() bool {
 // input in auto mode) everything runs on the calling goroutine in the
 // deterministic sequential search order.
 func EnumerateWorkers(g *graph.Graph, p *pattern.Pattern, opts Options, newYield func(worker int) func(*Occurrence) bool) {
-	pl := newSearchPlan(g, p)
+	pl := newSearchPlan(g, p, opts)
 	if pl == nil {
 		return
 	}
-	workers := opts.workers(len(pl.roots), pl.snap.NumVertices())
+	workers := opts.workers(pl.numRoots, pl.snap.NumVertices())
 
 	if workers == 1 {
 		yield := newYield(0)
@@ -250,19 +272,27 @@ func EnumerateWorkers(g *graph.Graph, p *pattern.Pattern, opts Options, newYield
 			yield = capYield(yield, opts.MaxOccurrences)
 		}
 		st := newSearchState(pl, yield, nil)
-		for _, r := range pl.roots {
-			if st.searchRoot(r) {
-				return
+		for _, roots := range pl.rootsByShard {
+			for _, r := range roots {
+				if st.searchRoot(r) {
+					return
+				}
 			}
 		}
 		return
 	}
 
+	// Shard-first scheduling: every shard carries an atomic cursor into its
+	// root list. Each worker starts on its own slice of the shard sequence
+	// and drains whole shards — so its hot loops touch one shard's arrays at
+	// a time — then walks the remaining shards circularly, stealing leftover
+	// roots from shards other workers have not finished.
 	var (
-		next int64 // atomically claimed position in pl.roots
 		stop atomic.Bool
 		wg   sync.WaitGroup
 	)
+	cursors := make([]int64, len(pl.rootsByShard))
+	numShards := len(pl.rootsByShard)
 	// All consumers are created before any worker starts, so newYield may
 	// safely grow shared registries without synchronization.
 	yields := make([]func(*Occurrence) bool, workers)
@@ -271,18 +301,26 @@ func EnumerateWorkers(g *graph.Graph, p *pattern.Pattern, opts Options, newYield
 	}
 	for w := 0; w < workers; w++ {
 		yield := yields[w]
+		start := w * numShards / workers
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			st := newSearchState(pl, yield, &stop)
-			for {
-				i := atomic.AddInt64(&next, 1) - 1
-				if i >= int64(len(pl.roots)) || stop.Load() {
-					return
-				}
-				if st.searchRoot(pl.roots[i]) {
-					stop.Store(true)
-					return
+			for k := 0; k < numShards; k++ {
+				s := (start + k) % numShards
+				roots := pl.rootsByShard[s]
+				for {
+					i := atomic.AddInt64(&cursors[s], 1) - 1
+					if i >= int64(len(roots)) {
+						break
+					}
+					if stop.Load() {
+						return
+					}
+					if st.searchRoot(roots[i]) {
+						stop.Store(true)
+						return
+					}
 				}
 			}
 		}()

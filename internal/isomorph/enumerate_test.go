@@ -6,7 +6,9 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/isomorph"
+	"repro/internal/pattern"
 )
 
 // occurrenceKeys returns the sorted canonical keys of an occurrence slice.
@@ -61,6 +63,110 @@ func TestEnumerateParallelDeterminismGenerated(t *testing.T) {
 			if got[i] != want[i] {
 				t.Fatalf("Parallelism=%d occurrence %d = %s, sequential has %s", par, i, got[i], want[i])
 			}
+		}
+	}
+}
+
+// TestEnumerateShardDeterminism pins the acceptance contract of the sharded
+// snapshot work: the Enumerate output is byte-identical across shard counts
+// {1, 2, 7} and parallelism {1, 4} on every paper figure and on a generated
+// graph large enough for the worker pool to fan out. Run under -race this
+// also exercises the shard-first stealing scheduler for data races.
+func TestEnumerateShardDeterminism(t *testing.T) {
+	type workload struct {
+		name string
+		g    *graph.Graph
+		p    *pattern.Pattern
+	}
+	var workloads []workload
+	for _, fig := range dataset.AllFigures() {
+		workloads = append(workloads, workload{name: fig.Name, g: fig.Graph, p: fig.Pattern})
+	}
+	workloads = append(workloads, workload{
+		name: "ba300/triangle",
+		g:    gen.BarabasiAlbert(300, 3, gen.UniformLabels{K: 2}, 11),
+		p:    trianglePattern(1),
+	})
+	for _, wl := range workloads {
+		want := occurrenceKeys(isomorph.Enumerate(wl.g, wl.p, isomorph.Options{}))
+		for _, shards := range []int{1, 2, 7} {
+			for _, par := range []int{1, 4} {
+				got := occurrenceKeys(isomorph.Enumerate(wl.g, wl.p, isomorph.Options{Shards: shards, Parallelism: par}))
+				if len(got) != len(want) {
+					t.Fatalf("%s: Shards=%d Parallelism=%d returned %d occurrences, unsharded returned %d",
+						wl.name, shards, par, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s: Shards=%d Parallelism=%d occurrence %d = %s, unsharded has %s",
+							wl.name, shards, par, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerateOccurrencesSpanShards builds a workload where occurrences
+// necessarily straddle shard boundaries — a long two-label path sharded into
+// two-vertex shards — and checks that cross-shard adjacency is followed
+// correctly: the sharded occurrence set matches the unsharded one and at
+// least one occurrence touches two or more distinct shards.
+func TestEnumerateOccurrencesSpanShards(t *testing.T) {
+	g := graph.New("path")
+	const n = 14
+	for v := 0; v < n; v++ {
+		g.MustAddVertex(graph.VertexID(v), graph.Label(v%2+1))
+	}
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(graph.VertexID(v), graph.VertexID(v+1))
+	}
+	// Pattern: a 3-node path 1-2-1, so every occurrence covers three
+	// consecutive path vertices — guaranteed to cross a 2-vertex shard.
+	pg := graph.New("p")
+	pg.MustAddVertex(0, 1)
+	pg.MustAddVertex(1, 2)
+	pg.MustAddVertex(2, 1)
+	pg.MustAddEdge(0, 1)
+	pg.MustAddEdge(1, 2)
+	pat := pattern.MustNew(pg)
+
+	const shards = 7 // 14 vertices -> 2-vertex shards
+	want := occurrenceKeys(isomorph.Enumerate(g, pat, isomorph.Options{}))
+	if len(want) == 0 {
+		t.Fatal("workload produced no occurrences")
+	}
+	for _, par := range []int{1, 4} {
+		occs := isomorph.Enumerate(g, pat, isomorph.Options{Shards: shards, Parallelism: par})
+		got := occurrenceKeys(occs)
+		if len(got) != len(want) {
+			t.Fatalf("Parallelism=%d: %d occurrences, want %d", par, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Parallelism=%d occurrence %d = %s, want %s", par, i, got[i], want[i])
+			}
+		}
+		snap := g.FreezeSharded(graph.FreezeOptions{Shards: shards})
+		if snap.NumShards() < 2 {
+			t.Fatalf("snapshot built %d shards, want >= 2", snap.NumShards())
+		}
+		spanning := 0
+		for _, o := range occs {
+			seen := make(map[int]bool)
+			for _, v := range o.Images() {
+				i, ok := snap.IndexOf(v)
+				if !ok {
+					t.Fatalf("image %d not in snapshot", v)
+				}
+				seen[snap.ShardOf(i)] = true
+			}
+			if len(seen) >= 2 {
+				spanning++
+			}
+		}
+		if spanning == 0 {
+			t.Fatal("no occurrence spans two or more shards; the workload no longer exercises cross-shard matching")
 		}
 	}
 }

@@ -71,6 +71,20 @@ func StreamingSet() []Measure {
 	}
 }
 
+// SupportsStreaming reports whether the measure can be computed on a
+// streaming context, i.e. from the incrementally maintained aggregates alone
+// (membership in StreamingSet by canonical name). Callers such as the miner
+// use it to auto-select streaming contexts when materialization would be
+// wasted.
+func SupportsStreaming(m Measure) bool {
+	for _, s := range StreamingSet() {
+		if s.Name() == m.Name() {
+			return true
+		}
+	}
+	return false
+}
+
 // Value returns the value of the named measure, or an error if it was not
 // part of the evaluation.
 func (ev *Evaluation) Value(name string) (float64, error) {

@@ -52,11 +52,24 @@ type Config struct {
 	// do not multiply into GOMAXPROCS² goroutines. Mining results are
 	// identical for every setting.
 	EnumParallelism int
+	// EnumShards is the CSR shard count of the frozen snapshot per-candidate
+	// enumeration runs on (core.Options.Shards): 0 keeps the graph's
+	// automatic sharding, positive values split the vertex range into that
+	// many contiguous shards. Mining results are identical for every setting.
+	EnumShards int
 	// Streaming builds per-candidate contexts in streaming mode: occurrences
 	// are folded into incremental aggregates instead of being materialized.
 	// Only valid with measures that run on streamed aggregates (MNI and the
 	// raw counts); other measures fail the run with an error.
+	//
+	// When the configured measure supports streaming (the default measure,
+	// MNI, does), streaming contexts are auto-selected even when this field
+	// is false; set MaterializeContexts to opt out.
 	Streaming bool
+	// MaterializeContexts disables the automatic streaming described on
+	// Streaming, forcing fully materialized per-candidate contexts even for
+	// streaming-capable measures. It cannot be combined with Streaming.
+	MaterializeContexts bool
 }
 
 // DefaultMaxPatternSize bounds pattern growth when the caller does not say
@@ -123,8 +136,23 @@ func New(g *graph.Graph, cfg Config) (*Miner, error) {
 	if cfg.Measure == nil {
 		cfg.Measure = measures.MNI{}
 	}
+	if cfg.Streaming && cfg.MaterializeContexts {
+		return nil, fmt.Errorf("miner: Streaming and MaterializeContexts are mutually exclusive")
+	}
+	// Streaming by default: when the measure runs on streamed aggregates,
+	// materializing occurrence lists and hypergraphs per candidate is pure
+	// overhead, so streaming contexts are auto-selected. The results are
+	// identical; MaterializeContexts is the explicit opt-out.
+	if !cfg.Streaming && !cfg.MaterializeContexts && measures.SupportsStreaming(cfg.Measure) {
+		cfg.Streaming = true
+	}
 	return &Miner{g: g, cfg: cfg}, nil
 }
+
+// Config returns the effective configuration of the miner after defaulting:
+// the measure fallback to MNI, the default size cap, and the automatic
+// selection of streaming contexts for streaming-capable measures.
+func (m *Miner) Config() Config { return m.cfg }
 
 // Mine runs the search and returns every frequent pattern found together
 // with run statistics. Patterns are reported in breadth-first order (fewer
@@ -288,6 +316,7 @@ func (m *Miner) evaluate(p *pattern.Pattern) (FrequentPattern, bool, error) {
 	ctx, err := core.NewContext(m.g, p, core.Options{
 		MaxOccurrences: m.cfg.MaxOccurrences,
 		Parallelism:    enumPar,
+		Shards:         m.cfg.EnumShards,
 		Streaming:      m.cfg.Streaming,
 	})
 	if err != nil {

@@ -61,6 +61,61 @@ func TestMineFigure6(t *testing.T) {
 	}
 }
 
+// TestStreamingAutoSelected checks the streaming-by-default policy: MNI-style
+// measures get streaming contexts without the knob, MaterializeContexts opts
+// out, measures needing materialized state are never auto-streamed, and the
+// auto-streamed run reports exactly the same frequent patterns.
+func TestStreamingAutoSelected(t *testing.T) {
+	g := gen.BarabasiAlbert(45, 2, gen.UniformLabels{K: 2}, 5)
+
+	auto, err := miner.New(g, miner.Config{MinSupport: 3}) // default measure MNI
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !auto.Config().Streaming {
+		t.Error("MNI mining did not auto-select streaming contexts")
+	}
+
+	mat, err := miner.New(g, miner.Config{MinSupport: 3, MaterializeContexts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Config().Streaming {
+		t.Error("MaterializeContexts did not opt out of auto-streaming")
+	}
+
+	mvc, err := miner.New(g, miner.Config{MinSupport: 3, Measure: measures.MVC{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mvc.Config().Streaming {
+		t.Error("MVC mining auto-selected streaming even though MVC needs materialized contexts")
+	}
+
+	if _, err := miner.New(g, miner.Config{MinSupport: 3, Streaming: true, MaterializeContexts: true}); err == nil {
+		t.Error("Streaming together with MaterializeContexts should error")
+	}
+
+	autoRes, err := auto.Mine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	matRes, err := mat.Mine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(autoRes.Patterns) != len(matRes.Patterns) {
+		t.Fatalf("auto-streaming found %d patterns, materialized %d", len(autoRes.Patterns), len(matRes.Patterns))
+	}
+	for i := range autoRes.Patterns {
+		a, m := autoRes.Patterns[i], matRes.Patterns[i]
+		if a.Pattern.CanonicalCode() != m.Pattern.CanonicalCode() || a.Support != m.Support ||
+			a.Occurrences != m.Occurrences || a.Instances != m.Instances {
+			t.Fatalf("pattern %d differs between auto-streaming and materialized runs: %+v vs %+v", i, a, m)
+		}
+	}
+}
+
 func TestMineDefaultsAndStats(t *testing.T) {
 	g := gen.BarabasiAlbert(45, 2, gen.UniformLabels{K: 2}, 5)
 	m, err := miner.New(g, miner.Config{MinSupport: 3}) // default measure MNI, default size cap

@@ -145,6 +145,13 @@ type ContextOptions struct {
 	// forces the deterministic sequential path, higher values are used as
 	// given. The resulting Context is identical for every setting.
 	Parallelism int
+	// Shards is the CSR shard count of the frozen snapshot enumeration runs
+	// on: 0 keeps the graph's automatic sharding (one shard up to 65536
+	// vertices), positive values split the vertex range into at most that
+	// many contiguous, independently allocated shards that parallel workers
+	// drain cache-locally. The resulting Context is identical for every
+	// setting.
+	Shards int
 	// Streaming skips materializing the occurrence list and hypergraphs;
 	// occurrences are folded into incremental aggregates as they stream out
 	// of the enumeration workers. Only MNI and the raw occurrence/instance
@@ -160,6 +167,7 @@ func NewContext(g *Graph, p *Pattern, opts ContextOptions) (*Context, error) {
 	return core.NewContext(g, p, core.Options{
 		MaxOccurrences: opts.MaxOccurrences,
 		Parallelism:    opts.Parallelism,
+		Shards:         opts.Shards,
 		Streaming:      opts.Streaming,
 	})
 }
