@@ -11,12 +11,14 @@
 //	gbench -list               # list experiment IDs
 //	gbench -benchjson BENCH_enumeration.json
 //	                           # write the sequential-vs-parallel enumeration
-//	                           # timings as JSON and exit
+//	                           # timings plus the end-to-end mining record
+//	                           # (mine-mni) as JSON and exit
 //	gbench -benchjson new.json -compare BENCH_enumeration.json
 //	                           # additionally gate the fresh timings against a
 //	                           # committed baseline: exit non-zero when any
-//	                           # sequential workload is >30% slower (the CI
-//	                           # benchmark gate)
+//	                           # sequential workload (enumeration or mining)
+//	                           # is >30% slower (the CI benchmark gate)
+//	gbench -exp incremental    # incremental refreeze vs full CSR rebuild
 package main
 
 import (
@@ -51,7 +53,10 @@ func main() {
 	}
 
 	if *benchjson != "" || *compare != "" {
-		report := bench.NewEnumerationReport(bench.Config{Quick: *quick, Seed: *seed, Shards: *shards})
+		report, err := bench.NewEnumerationReport(bench.Config{Quick: *quick, Seed: *seed, Shards: *shards})
+		if err != nil {
+			fatal(err)
+		}
 		if *benchjson != "" {
 			f, err := os.Create(*benchjson)
 			if err != nil {

@@ -45,6 +45,42 @@ func TestCompareEnumerationFailsOnInjectedSlowdown(t *testing.T) {
 	}
 }
 
+// TestCompareEnumerationGatesMiningRecord checks that the end-to-end mining
+// record rides the same sequential gate as the enumeration records: a miner
+// regression fails the comparison even when raw enumeration is unchanged.
+func TestCompareEnumerationGatesMiningRecord(t *testing.T) {
+	mine := func(ns int64) EnumerationRecord {
+		return EnumerationRecord{Workload: "barabasi-albert", Pattern: "mine-mni", Mode: "sequential", Parallelism: 1, NsPerOp: ns}
+	}
+	baseline := []EnumerationRecord{seqRecord("er", 1000), mine(100_000)}
+	current := []EnumerationRecord{seqRecord("er", 1000), mine(200_000)}
+	summary, err := CompareEnumeration(baseline, current, 0.30)
+	if err == nil {
+		t.Fatalf("2x mining slowdown passed the gate:\n%s", summary)
+	}
+	if !strings.Contains(err.Error(), "mine-mni") {
+		t.Errorf("regression error does not name the mining record: %v", err)
+	}
+	if _, err := CompareEnumeration(baseline, []EnumerationRecord{seqRecord("er", 1000), mine(110_000)}, 0.30); err != nil {
+		t.Errorf("within-threshold mining record failed the gate: %v", err)
+	}
+}
+
+// TestMiningRecordQuick measures a quick-mode mining record and checks its
+// gate-relevant shape.
+func TestMiningRecordQuick(t *testing.T) {
+	rec, err := MiningRecord(Config{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatalf("MiningRecord: %v", err)
+	}
+	if rec.Mode != "sequential" || rec.Pattern != "mine-mni" {
+		t.Fatalf("record %+v is not a gated sequential mining record", rec)
+	}
+	if rec.NsPerOp <= 0 || rec.Occurrences <= 0 {
+		t.Fatalf("record %+v has no timing or no frequent patterns", rec)
+	}
+}
+
 // TestCompareEnumerationMismatchedWorkloads checks that unmatched records are
 // skipped without failing the gate, and that an empty intersection errors.
 func TestCompareEnumerationMismatchedWorkloads(t *testing.T) {

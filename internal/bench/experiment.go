@@ -91,6 +91,7 @@ func allExperiments() []Experiment {
 		chainExperiment(),
 		enumerationExperiment(),
 		shardingExperiment(),
+		incrementalExperiment(),
 		scalingExperiment(),
 		approxExperiment(),
 		lpExperiment(),

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// incrementalWorkload builds the dynamic-workload data graph in O(n): a ring
+// of local edges plus sparse long chords, over dense vertex IDs so appends at
+// fresh maximum IDs model the bulk-load idiom. Generated directly instead of
+// via gen.ErdosRenyi, whose pairwise edge loop is quadratic in n and would
+// dominate the setup at the 2^17-vertex full size.
+func incrementalWorkload(n int) *graph.Graph {
+	g := graph.New(fmt.Sprintf("incremental-%d", n))
+	for v := 0; v < n; v++ {
+		g.MustAddVertex(graph.VertexID(v), graph.Label(v%3+1))
+	}
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(graph.VertexID(v), graph.VertexID(v+1))
+	}
+	for v := 0; v+n/2 < n; v += 9 {
+		g.MustAddEdge(graph.VertexID(v), graph.VertexID(v+n/2))
+	}
+	return g
+}
+
+// timeRefreezes applies k random edge inserts to g, refreezing after each,
+// and returns the mean ns per refreeze (freeze latency only — the AddEdge
+// itself is common to both maintenance strategies). fullRebuild drops the
+// snapshot cache before every freeze, forcing the pre-incremental behavior
+// of rebuilding every shard; otherwise each freeze rebuilds only the <= 2
+// shards the insert dirtied. The RNG drives the same edge sequence for every
+// caller with the same seed, so the two strategies do identical work on
+// identical graphs.
+func timeRefreezes(g *graph.Graph, opts graph.FreezeOptions, k int, seed uint64, fullRebuild bool) int64 {
+	rng := gen.NewRNG(seed)
+	n := g.NumVertices()
+	g.FreezeSharded(opts) // warm: both strategies start from a built snapshot
+	var total int64
+	for i := 0; i < k; i++ {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		for u == v || g.HasEdge(u, v) {
+			u = graph.VertexID(rng.Intn(n))
+			v = graph.VertexID(rng.Intn(n))
+		}
+		g.MustAddEdge(u, v)
+		if fullRebuild {
+			g.DropSnapshots()
+		}
+		start := time.Now()
+		g.FreezeSharded(opts)
+		total += time.Since(start).Nanoseconds()
+	}
+	return total / int64(k)
+}
+
+// incrementalExperiment times snapshot maintenance under a trickle of edge
+// inserts: shard-level dirty tracking means a refreeze after one AddEdge
+// rebuilds at most the two shards owning the endpoints, while the
+// pre-incremental behavior rebuilt the whole CSR. The gap is the point of the
+// experiment — it grows with the graph-to-dirty-shard ratio, which is exactly
+// the dynamic-workload regime of Berkholz et al.'s update-time bounds.
+func incrementalExperiment() Experiment {
+	return Experiment{
+		ID:    "incremental",
+		Claim: "incremental shard-level CSR maintenance: refreezing after an edge insert rebuilds only dirty shards and beats a from-scratch rebuild",
+		Run: func(w io.Writer, cfg Config) error {
+			n := quickInt(cfg, 1<<12, 1<<17)
+			inserts := quickInt(cfg, 8, 24)
+			base := incrementalWorkload(n)
+			t := NewTable(fmt.Sprintf("refreeze latency after single edge inserts (|V|=%d, %d inserts averaged)", n, inserts),
+				"shards", "shard size", "incremental ns/refreeze", "full rebuild ns/refreeze", "speedup")
+			for _, shards := range []int{4, 16} {
+				opts := graph.FreezeOptions{ShardSize: n / shards}
+				incNs := timeRefreezes(base.Clone(), opts, inserts, cfg.Seed, false)
+				fullNs := timeRefreezes(base.Clone(), opts, inserts, cfg.Seed, true)
+				speedup := "n/a"
+				if incNs > 0 {
+					speedup = fmt.Sprintf("%.1fx", float64(fullNs)/float64(incNs))
+				}
+				t.AddRow(shards, n/shards, fmtDuration(float64(incNs)), fmtDuration(float64(fullNs)), speedup)
+			}
+			return render(w, cfg, t)
+		},
+	}
+}

@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/measures"
+	"repro/internal/pattern"
+)
+
+// TestContextAfterIncrementalRefreeze checks that context construction (and
+// therefore every support measure downstream of it) is unaffected by the
+// incremental shard-level refreeze: after interleaved AddEdge/AddVertex
+// mutations, contexts built on the mutated graph — whose freeze reuses clean
+// shards of earlier snapshots — match contexts built on a pristine clone, in
+// both materialized and streaming mode and across shard counts.
+func TestContextAfterIncrementalRefreeze(t *testing.T) {
+	tri := pattern.MustNew(graph.NewBuilder("tri").Vertices(1, 0, 1, 2).Cycle(0, 1, 2).MustBuild())
+	for _, shards := range []int{1, 2, 7} {
+		g := gen.BarabasiAlbert(260, 3, gen.UniformLabels{K: 2}, 13)
+		core.MustNewContext(g, tri, core.Options{Shards: shards}) // pre-mutation freeze
+
+		ids := g.SortedVertices()
+		next := graph.VertexID(10_000)
+		for step := 0; step < 4; step++ {
+			u, v := ids[step*11], ids[step*23+30]
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+			g.MustAddVertex(next, 1)
+			g.MustAddEdge(next, u)
+			next++
+		}
+
+		fresh := core.MustNewContext(g.Clone(), tri, core.Options{Parallelism: 1, Shards: shards})
+		for _, streaming := range []bool{false, true} {
+			ctx := core.MustNewContext(g, tri, core.Options{Shards: shards, Streaming: streaming})
+			if ctx.NumOccurrences() != fresh.NumOccurrences() || ctx.NumInstances() != fresh.NumInstances() {
+				t.Fatalf("shards=%d streaming=%v: %d/%d occurrences/instances after refreeze, clone has %d/%d",
+					shards, streaming, ctx.NumOccurrences(), ctx.NumInstances(), fresh.NumOccurrences(), fresh.NumInstances())
+			}
+			got, err := measures.MNI{}.Compute(ctx)
+			if err != nil {
+				t.Fatalf("shards=%d streaming=%v: MNI: %v", shards, streaming, err)
+			}
+			want, err := measures.MNI{}.Compute(fresh)
+			if err != nil {
+				t.Fatalf("shards=%d: MNI on clone: %v", shards, err)
+			}
+			if got.Value != want.Value {
+				t.Fatalf("shards=%d streaming=%v: MNI %v after refreeze, clone has %v", shards, streaming, got.Value, want.Value)
+			}
+		}
+	}
+}

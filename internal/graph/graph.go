@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // VertexID identifies a vertex inside a single Graph. IDs are dense indexes
@@ -59,7 +60,7 @@ func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
 // dataset package to construct graphs.
 //
 // Graph is safe for concurrent readers once fully constructed; mutation
-// methods (AddVertex, AddEdge) must not race with readers.
+// methods (AddVertex, AddEdge, SetName) must not race with readers.
 type Graph struct {
 	labels    map[VertexID]Label
 	adjacency map[VertexID][]VertexID
@@ -73,9 +74,19 @@ type Graph struct {
 	name string
 
 	// snaps caches the CSR snapshots built by Freeze/FreezeSharded, keyed by
-	// resolved shard size; mutations invalidate every entry.
-	snapMu sync.Mutex
-	snaps  map[int]*Snapshot
+	// resolved shard-size shift. Mutations do not drop entries: they mark the
+	// affected shards dirty and the next freeze rebuilds only those (see
+	// FreezeSharded). snapClock orders entries for LRU eviction.
+	snapMu    sync.Mutex
+	snaps     map[int]*snapEntry
+	snapClock uint64
+	// snapGen increments on DropSnapshots so an in-flight freeze that built
+	// its CSR before the drop does not repopulate the cache afterwards.
+	snapGen uint64
+	// shardBuilds counts CSR shard constructions over the graph's lifetime;
+	// tests use it to assert that incremental refreezes rebuild only dirty
+	// shards.
+	shardBuilds atomic.Int64
 }
 
 // New returns an empty graph with an optional name used in diagnostics.
@@ -92,11 +103,15 @@ func New(name string) *Graph {
 // Name returns the graph's diagnostic name.
 func (g *Graph) Name() string { return g.name }
 
-// SetName sets the graph's diagnostic name. The cached snapshot is dropped so
-// a later Freeze reflects the new name.
+// SetName sets the graph's diagnostic name. The CSR structure of cached
+// snapshots is untouched: each cached entry is patched to a shallow copy
+// carrying the new name, so renaming never forces a rebuild (snapshots
+// already handed out keep the old name — snapshots are immutable). Like
+// every mutation method, SetName must not race with readers, Freeze
+// included.
 func (g *Graph) SetName(name string) {
 	g.name = name
-	g.invalidateSnapshot()
+	g.renameSnapshots(name)
 }
 
 // ensure initializes the internal maps of a zero-value Graph.
@@ -126,7 +141,7 @@ func (g *Graph) AddVertex(v VertexID, label Label) error {
 	if _, ok := g.adjacency[v]; !ok {
 		g.adjacency[v] = nil
 	}
-	g.invalidateSnapshot()
+	g.noteVertexAdded(v)
 	return nil
 }
 
@@ -158,7 +173,7 @@ func (g *Graph) AddEdge(u, v VertexID) error {
 	g.edges[e] = struct{}{}
 	g.adjacency[u] = append(g.adjacency[u], v)
 	g.adjacency[v] = append(g.adjacency[v], u)
-	g.invalidateSnapshot()
+	g.noteEdgeAdded(u, v)
 	return nil
 }
 

@@ -3,6 +3,7 @@ package graph
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Snapshot is an immutable, cache-friendly view of a Graph: adjacency in
@@ -22,6 +23,10 @@ import (
 // shards share one fixed vertex-count granularity, so routing an index to its
 // shard is a single division — Neighbors, Degree and label lookups stay O(1)
 // regardless of the shard count.
+//
+// Sharding also bounds the cost of mutation: the Graph tracks which shards a
+// mutation dirties and a later Freeze rebuilds only those, sharing the clean
+// shards' arrays with the previous snapshot (see FreezeSharded).
 //
 // Dense indexes are assigned in increasing VertexID order, so index order and
 // ID order coincide and every per-row neighbor list is sorted. Obtain a
@@ -43,9 +48,11 @@ type Snapshot struct {
 	// list per label, concatenated from the per-shard partitions on first
 	// use so IndexesWithLabel stays a single O(1) map lookup afterwards.
 	// Built lazily because the enumeration hot path works from the per-shard
-	// partitions and never needs the full-graph concatenation.
-	byLabelOnce sync.Once
-	byLabel     map[Label][]int32
+	// partitions and never needs the full-graph concatenation. Stored behind
+	// an atomic pointer (instead of a sync.Once) so incremental refreezes can
+	// seed a fresh Snapshot with a mostly reused index.
+	labelMu sync.Mutex
+	byLabel atomic.Pointer[map[Label][]int32]
 }
 
 // shard is one contiguous dense-index range of a Snapshot with its own CSR
@@ -113,116 +120,496 @@ func resolveShardShift(opts FreezeOptions, n int) uint {
 	return shift
 }
 
+// snapEntry is one cached snapshot granularity together with the record of
+// which shards mutations have dirtied since it was built. The dirty state is
+// always relative to the entry's own snapshot: shard numbers refer to its
+// partition, insert positions to its dense-index space.
+type snapEntry struct {
+	snap *Snapshot
+
+	// dirty holds shards whose CSR arrays are stale because an incident
+	// edge was added (AddEdge marks the shards owning both endpoints).
+	dirty map[int]struct{}
+	// suffixFrom, when >= 0, marks every shard >= suffixFrom dirty: a vertex
+	// insert at dense position p shifts all indexes >= p, so the shards from
+	// p's shard onward must be rebuilt. Appending at a new maximum VertexID
+	// (the bulk-load idiom) keeps suffixFrom at the last shard — or past the
+	// end when the last shard is exactly full — so at most one existing
+	// shard is ever rebuilt per append.
+	suffixFrom int
+	// shifted records that at least one vertex insert landed strictly before
+	// the snapshot's end, i.e. pre-existing dense indexes moved. Clean
+	// shards' own ranges are unaffected (all inserts land at or after their
+	// end, by construction of suffixFrom), but their colIdx arrays hold
+	// global references that may point into the shifted region and must be
+	// remapped on refreeze. Pure appends never set this, which is what makes
+	// append-at-max-ID the cheap path.
+	shifted bool
+	// grown records that the vertex set grew, so the refreeze must re-derive
+	// the shard count and totals even if no pre-existing shard is dirty.
+	grown bool
+	// lastUse orders cache entries for least-recently-used eviction; it is
+	// the Graph's snapClock value at the entry's most recent Freeze hit.
+	lastUse uint64
+}
+
+// clean reports whether the entry's snapshot still matches the graph
+// structure exactly (diagnostic renames are patched eagerly and never dirty
+// an entry).
+func (e *snapEntry) clean() bool {
+	return len(e.dirty) == 0 && e.suffixFrom < 0 && !e.grown
+}
+
+// shardDirty reports whether shard k of the entry's snapshot must be rebuilt.
+func (e *snapEntry) shardDirty(k int) bool {
+	if e.suffixFrom >= 0 && k >= e.suffixFrom {
+		return true
+	}
+	_, ok := e.dirty[k]
+	return ok
+}
+
+// markShard marks a single shard's CSR arrays stale.
+func (e *snapEntry) markShard(k int) {
+	if e.dirty == nil {
+		e.dirty = make(map[int]struct{})
+	}
+	e.dirty[k] = struct{}{}
+}
+
+// markEndpoint marks the shard owning vertex v dirty after an edge add. A
+// vertex unknown to the snapshot was added after the freeze, so its eventual
+// shard already lies in the dirty suffix; if the bookkeeping ever disagrees,
+// fall back to a full from-scratch rebuild (every shard dirty, identity and
+// index reuse disabled) rather than serving a stale row.
+func (e *snapEntry) markEndpoint(v VertexID) {
+	if e.saturated() {
+		return
+	}
+	if !e.beyondEnd(v) {
+		if i, ok := e.snap.IndexOf(v); ok {
+			e.markShard(e.snap.ShardOf(i))
+			return
+		}
+	}
+	// v was appended after the freeze; its eventual shard lies in the dirty
+	// suffix, so there is nothing to record beyond the defensive fallback.
+	if e.suffixFrom < 0 {
+		e.suffixFrom = 0
+		e.shifted = true
+		e.grown = true
+	}
+}
+
+// beyondEnd reports in one array probe that v sorts after every snapshot
+// vertex — the bulk-load idiom's common case, where neither the O(log n)
+// IndexOf nor insertPos search has anything to find.
+func (e *snapEntry) beyondEnd(v VertexID) bool {
+	n := e.snap.n
+	return n > 0 && v > e.snap.ID(int32(n-1))
+}
+
+// saturated reports that every shard of the entry's snapshot is already
+// dirty, so further mutations have nothing left to record. This keeps the
+// per-mutation bookkeeping O(1) on bulk loads against a warm cache: once a
+// heavy edit burst has dirtied everything, AddEdge/AddVertex stop paying the
+// per-entry binary searches and the cost profile matches the old
+// invalidate-everything behavior.
+func (e *snapEntry) saturated() bool {
+	return (e.suffixFrom == 0 && e.shifted) || len(e.dirty) == len(e.snap.shards)
+}
+
+// markVertexInsert records a vertex insert at snapshot-relative dense
+// position p (the number of snapshot vertices with a smaller ID). Positions
+// computed against the entry's own snapshot can only under-count vertices
+// added after the freeze, which moves the dirty suffix earlier — conservative
+// and therefore safe.
+func (e *snapEntry) markVertexInsert(p int32) {
+	e.grown = true
+	if int(p) < e.snap.n {
+		e.shifted = true
+	}
+	sh := e.snap.ShardOf(p)
+	if e.suffixFrom < 0 || sh < e.suffixFrom {
+		e.suffixFrom = sh
+	}
+}
+
 // Freeze returns the CSR snapshot of the graph with automatic sharding (a
 // single shard up to DefaultShardSize vertices), building it on first use and
-// caching it until the next mutation. The returned snapshot is immutable and
-// safe for concurrent readers; concurrent Freeze calls are synchronized, but
-// (as with all Graph readers) Freeze must not race with AddVertex/AddEdge.
+// caching it until the next mutation dirties part of it. The returned
+// snapshot is immutable and safe for concurrent readers; concurrent Freeze
+// calls are synchronized, but (as with all Graph readers) Freeze must not
+// race with AddVertex/AddEdge.
 func (g *Graph) Freeze() *Snapshot {
 	return g.FreezeSharded(FreezeOptions{})
 }
 
-// FreezeSharded is Freeze with explicit control over the shard partition.
-// Snapshots are cached per resolved shard size, so alternating callers with
-// different options do not rebuild each other's snapshots; every cached
-// snapshot is dropped on the next mutation.
 // maxCachedSnapshots bounds how many shard granularities of one graph stay
 // cached at once; each entry is a complete CSR copy, so an unbounded cache
-// would multiply memory on exactly the large graphs sharding targets.
+// would multiply memory on exactly the large graphs sharding targets. The
+// least recently used granularity is evicted first.
 const maxCachedSnapshots = 4
 
+// FreezeSharded is Freeze with explicit control over the shard partition.
+// Snapshots are cached per resolved shard size, so alternating callers with
+// different options do not rebuild each other's snapshots.
+//
+// Mutations no longer discard cached snapshots wholesale: each mutation marks
+// the shards it touches dirty (see AddEdge, AddVertex) and the next freeze of
+// that granularity rebuilds only those, sharing every clean shard's
+// ids/labels/rowPtr/colIdx/byLabel arrays with the previous snapshot.
+// Snapshots stay immutable throughout — readers holding a pre-mutation
+// snapshot keep reading pre-mutation data.
+//
+// The CSR construction itself runs outside the cache lock, so a freeze at
+// one granularity never blocks a concurrent freeze at another behind a full
+// rebuild.
 func (g *Graph) FreezeSharded(opts FreezeOptions) *Snapshot {
 	shift := resolveShardShift(opts, g.NumVertices())
 	g.snapMu.Lock()
-	defer g.snapMu.Unlock()
-	if s, ok := g.snaps[int(shift)]; ok {
+	e := g.snaps[int(shift)]
+	if e != nil && e.clean() {
+		g.snapClock++
+		e.lastUse = g.snapClock
+		s := e.snap
+		g.snapMu.Unlock()
 		return s
 	}
-	s := buildSnapshot(g, shift)
+	// Capture the dirty state before releasing the lock: Freeze must not
+	// race with mutations (SetName included — it patches entries in place),
+	// so between here and the re-lock below only other freezes and
+	// DropSnapshots can run, and neither mutates an entry in place —
+	// freezes replace whole entries, drops discard the map.
+	stale := e
+	gen := g.snapGen
+	g.snapMu.Unlock()
+
+	var s *Snapshot
+	if stale != nil {
+		s = g.rebuildSnapshot(stale, shift)
+	} else {
+		s = buildSnapshot(g, shift)
+	}
+
+	g.snapMu.Lock()
+	defer g.snapMu.Unlock()
+	if g.snapGen != gen {
+		// A concurrent DropSnapshots asked for the cache memory back; honor
+		// it by returning the built snapshot without reinstalling it.
+		return s
+	}
+	if e2 := g.snaps[int(shift)]; e2 != nil && e2.clean() && e2 != stale {
+		// A concurrent freeze of the same granularity won the race; keep its
+		// snapshot so repeated freezes keep returning one identity.
+		g.snapClock++
+		e2.lastUse = g.snapClock
+		return e2.snap
+	}
 	if g.snaps == nil {
-		g.snaps = make(map[int]*Snapshot)
+		g.snaps = make(map[int]*snapEntry)
 	}
-	if len(g.snaps) >= maxCachedSnapshots {
-		for k := range g.snaps { // evict an arbitrary granularity
-			delete(g.snaps, k)
-			break
-		}
+	if _, ok := g.snaps[int(shift)]; !ok && len(g.snaps) >= maxCachedSnapshots {
+		g.evictLRU()
 	}
-	g.snaps[int(shift)] = s
+	g.snapClock++
+	g.snaps[int(shift)] = &snapEntry{snap: s, suffixFrom: -1, lastUse: g.snapClock}
 	return s
 }
 
-// invalidateSnapshot drops every cached snapshot after a mutation.
-func (g *Graph) invalidateSnapshot() {
+// evictLRU removes the least recently used cache entry. Caller holds snapMu.
+func (g *Graph) evictLRU() {
+	victim, found := 0, false
+	var oldest uint64
+	for k, e := range g.snaps {
+		if !found || e.lastUse < oldest {
+			victim, oldest, found = k, e.lastUse, true
+		}
+	}
+	if found {
+		delete(g.snaps, victim)
+	}
+}
+
+// DropSnapshots discards every cached snapshot, releasing the CSR memory.
+// The next Freeze rebuilds from scratch. Mutations do not need this —
+// they dirty only the shards they touch — but long-lived graphs can use it
+// to shed cache memory, and benchmarks use it to measure full rebuilds.
+// Safe to call concurrently with Freeze: a freeze in flight across the drop
+// returns its snapshot without repopulating the cache.
+func (g *Graph) DropSnapshots() {
 	g.snapMu.Lock()
 	g.snaps = nil
+	g.snapGen++
 	g.snapMu.Unlock()
 }
 
+// noteVertexAdded records a successful AddVertex(v) against every cached
+// snapshot: the shards from v's insert position onward are stale. Appends at
+// a new maximum ID leave all fully clean shards untouched.
+func (g *Graph) noteVertexAdded(v VertexID) {
+	g.snapMu.Lock()
+	for _, e := range g.snaps {
+		if e.suffixFrom == 0 && e.shifted {
+			continue // the whole snapshot is already dirty-with-shift
+		}
+		if e.beyondEnd(v) {
+			e.markVertexInsert(int32(e.snap.n)) // append fast path
+		} else {
+			e.markVertexInsert(e.snap.insertPos(v))
+		}
+	}
+	g.snapMu.Unlock()
+}
+
+// noteEdgeAdded records a successful AddEdge(u, v) against every cached
+// snapshot: only the shards owning the two endpoints are stale — dense index
+// assignment, labels and every other shard's adjacency are unchanged.
+func (g *Graph) noteEdgeAdded(u, v VertexID) {
+	g.snapMu.Lock()
+	for _, e := range g.snaps {
+		e.markEndpoint(u)
+		e.markEndpoint(v)
+	}
+	g.snapMu.Unlock()
+}
+
+// renameSnapshots patches the diagnostic name of every cached snapshot after
+// SetName. The CSR structure is untouched, so instead of dirtying anything
+// each entry gets a shallow copy sharing all shard arrays (snapshots handed
+// to earlier callers stay immutable and keep the old name).
+func (g *Graph) renameSnapshots(name string) {
+	g.snapMu.Lock()
+	for _, e := range g.snaps {
+		e.snap = e.snap.withName(name)
+	}
+	g.snapMu.Unlock()
+}
+
+// withName returns a copy of s differing only in name, sharing every shard
+// array and any materialized cross-shard label index.
+func (s *Snapshot) withName(name string) *Snapshot {
+	c := &Snapshot{
+		name:       name,
+		n:          s.n,
+		numEdges:   s.numEdges,
+		shardShift: s.shardShift,
+		shards:     s.shards,
+	}
+	if bl := s.byLabel.Load(); bl != nil {
+		c.byLabel.Store(bl)
+	}
+	return c
+}
+
+// insertPos returns the dense position a vertex with ID v would occupy in
+// the snapshot's index space: the number of snapshot vertices with a smaller
+// ID.
+func (s *Snapshot) insertPos(v VertexID) int32 {
+	return int32(sort.Search(s.n, func(k int) bool { return s.ID(int32(k)) >= v }))
+}
+
+// searchIndex returns the dense index of v in the sorted ID slice backing a
+// snapshot under construction.
+func searchIndex(ids []VertexID, v VertexID) int32 {
+	return int32(sort.Search(len(ids), func(i int) bool { return ids[i] >= v }))
+}
+
 // buildSnapshot constructs the sharded CSR form of g with 1<<shardShift
-// vertices per shard.
+// vertices per shard, building every shard from scratch.
 func buildSnapshot(g *Graph, shardShift uint) *Snapshot {
 	n := g.NumVertices()
-	shardSize := 1 << shardShift
-	s := &Snapshot{
-		name:       g.name,
-		n:          n,
-		numEdges:   g.NumEdges(),
-		shardShift: shardShift,
-	}
+	s := newShellSnapshot(g, shardShift, n)
 	ids := g.SortedVertices()
 	indexOf := make(map[VertexID]int32, n)
 	for i, v := range ids {
 		indexOf[v] = int32(i)
 	}
+	lookup := func(v VertexID) int32 { return indexOf[v] }
+	for k := range s.shards {
+		g.buildShard(s, k, ids, lookup)
+	}
+	return s
+}
 
+// newShellSnapshot allocates a Snapshot with totals and shard slots but no
+// shard contents yet.
+func newShellSnapshot(g *Graph, shardShift uint, n int) *Snapshot {
+	shardSize := 1 << shardShift
 	numShards := 0
 	if n > 0 {
 		numShards = (n + shardSize - 1) / shardSize
 	}
-	s.shards = make([]shard, numShards)
-	for k := range s.shards {
-		lo := k * shardSize
-		hi := lo + shardSize
-		if hi > n {
-			hi = n
+	return &Snapshot{
+		name:       g.name,
+		n:          n,
+		numEdges:   g.NumEdges(),
+		shardShift: shardShift,
+		shards:     make([]shard, numShards),
+	}
+}
+
+// buildShard fills shard k of the snapshot under construction from the
+// graph's adjacency maps. lookup resolves a VertexID to its new global dense
+// index.
+func (g *Graph) buildShard(s *Snapshot, k int, ids []VertexID, lookup func(VertexID) int32) {
+	shardSize := 1 << s.shardShift
+	lo := k * shardSize
+	hi := lo + shardSize
+	if hi > s.n {
+		hi = s.n
+	}
+	sh := &s.shards[k]
+	sh.lo = int32(lo)
+	sh.ids = make([]VertexID, hi-lo)
+	copy(sh.ids, ids[lo:hi])
+	sh.labels = make([]Label, hi-lo)
+	sh.rowPtr = make([]int32, hi-lo+1)
+	sh.colIdx = nil
+	sh.byLabel = make(map[Label][]int32)
+	for i := lo; i < hi; i++ {
+		v := ids[i]
+		l := g.labels[v]
+		sh.labels[i-lo] = l
+		sh.byLabel[l] = append(sh.byLabel[l], int32(i))
+		row := make([]int32, 0, len(g.adjacency[v]))
+		for _, w := range g.adjacency[v] {
+			row = append(row, lookup(w))
 		}
-		sh := &s.shards[k]
-		sh.lo = int32(lo)
-		sh.ids = make([]VertexID, hi-lo)
-		copy(sh.ids, ids[lo:hi])
-		sh.labels = make([]Label, hi-lo)
-		sh.rowPtr = make([]int32, hi-lo+1)
-		sh.byLabel = make(map[Label][]int32)
-		for i := lo; i < hi; i++ {
-			v := ids[i]
-			l := g.labels[v]
-			sh.labels[i-lo] = l
-			sh.byLabel[l] = append(sh.byLabel[l], int32(i))
-			row := make([]int32, 0, len(g.adjacency[v]))
-			for _, w := range g.adjacency[v] {
-				row = append(row, indexOf[w])
-			}
-			sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
-			sh.colIdx = append(sh.colIdx, row...)
-			sh.rowPtr[i-lo+1] = int32(len(sh.colIdx))
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		sh.colIdx = append(sh.colIdx, row...)
+		sh.rowPtr[i-lo+1] = int32(len(sh.colIdx))
+	}
+	g.shardBuilds.Add(1)
+}
+
+// rebuildSnapshot produces a fresh Snapshot for the entry's granularity,
+// rebuilding exactly the dirty shards and sharing every clean shard with the
+// previous snapshot. Shard geometry is fixed per granularity, so old shard k
+// and new shard k cover the same dense-index range.
+//
+// Clean shards are reused by reference. The one exception is their colIdx
+// array when a mid-range vertex insert shifted global indexes (entry.shifted):
+// the shard's own vertex range is untouched — every insert landed at or after
+// its end — but its neighbor references may point past the insert position,
+// so they are remapped through the surviving vertices' new positions (a copy
+// and O(log n) searches, still far cheaper than re-sorting adjacency).
+// Neighbor lists stay sorted under the remap because inserts preserve the
+// relative order of surviving indexes.
+func (g *Graph) rebuildSnapshot(e *snapEntry, shardShift uint) *Snapshot {
+	old := e.snap
+	n := g.NumVertices()
+	s := newShellSnapshot(g, shardShift, n)
+	var ids []VertexID
+	if e.grown {
+		ids = g.SortedVertices()
+	} else {
+		// Edge-only staleness: the vertex set is the old snapshot's, so the
+		// sorted ID list is just its shards' id arrays concatenated — an
+		// O(n) copy instead of an O(n log n) re-sort.
+		ids = make([]VertexID, n)
+		for k := range old.shards {
+			copy(ids[old.shards[k].lo:], old.shards[k].ids)
 		}
 	}
+	// Resolving a neighbor's new dense index costs O(log n) by binary search
+	// with zero setup, or O(1) through a map that costs O(n) to fill. Binary
+	// search wins for the common trickle-update case (a bounded number of
+	// dirty shards); when most of the snapshot's neighbor entries must be
+	// resolved anyway — many dirty shards, or a shifted insert forcing every
+	// clean shard's colIdx through the remap — fall back to the map so the
+	// incremental path is never asymptotically worse than a full build.
+	oldShards := len(old.shards)
+	needBuild := 0
+	for k := range s.shards {
+		if k >= oldShards || e.shardDirty(k) {
+			needBuild++
+		}
+	}
+	var lookup func(VertexID) int32
+	if e.shifted || 2*needBuild >= len(s.shards) {
+		indexOf := make(map[VertexID]int32, n)
+		for i, v := range ids {
+			indexOf[v] = int32(i)
+		}
+		lookup = func(v VertexID) int32 { return indexOf[v] }
+	} else {
+		lookup = func(v VertexID) int32 { return searchIndex(ids, v) }
+	}
 
+	var rebuiltShards []int
+	for k := range s.shards {
+		if k < oldShards && !e.shardDirty(k) {
+			reused := old.shards[k]
+			if e.shifted {
+				col := make([]int32, len(reused.colIdx))
+				for i, c := range reused.colIdx {
+					col[i] = lookup(old.ID(c))
+				}
+				reused.colIdx = col
+			}
+			s.shards[k] = reused
+			continue
+		}
+		g.buildShard(s, k, ids, lookup)
+		rebuiltShards = append(rebuiltShards, k)
+	}
+
+	s.seedLabelIndex(old, e, rebuiltShards)
 	return s
+}
+
+// seedLabelIndex carries the materialized cross-shard label index across an
+// incremental refreeze when that is sound: labels absent from every rebuilt
+// shard keep their old concatenation by reference, labels present in a
+// rebuilt shard are re-concatenated. When no index was materialized, or when
+// an insert shifted global indexes (invalidating every entry of the old
+// concatenations), the index is simply left to lazy rebuild on first use.
+func (s *Snapshot) seedLabelIndex(old *Snapshot, e *snapEntry, rebuiltShards []int) {
+	oldIdx := old.byLabel.Load()
+	if oldIdx == nil || e.shifted {
+		return
+	}
+	if !e.grown {
+		// Edge-only refreeze: labels, dense indexes and every per-shard
+		// partition are unchanged, so the old concatenations are the new
+		// ones — share the whole index.
+		s.byLabel.Store(oldIdx)
+		return
+	}
+	touched := make(map[Label]bool)
+	for _, k := range rebuiltShards {
+		for l := range s.shards[k].byLabel {
+			touched[l] = true
+		}
+	}
+	fresh := make(map[Label][]int32, len(*oldIdx)+len(touched))
+	for l, idxs := range *oldIdx {
+		if !touched[l] {
+			fresh[l] = idxs
+		}
+	}
+	for l := range touched {
+		var concat []int32
+		for k := range s.shards {
+			concat = append(concat, s.shards[k].byLabel[l]...)
+		}
+		fresh[l] = concat
+	}
+	s.byLabel.Store(&fresh)
 }
 
 // buildLabelIndex materializes the cross-shard label index: shard ranges are
 // increasing and each per-shard partition is sorted, so concatenation in
 // shard order is globally sorted.
-func (s *Snapshot) buildLabelIndex() {
+func (s *Snapshot) buildLabelIndex() map[Label][]int32 {
 	byLabel := make(map[Label][]int32)
 	for k := range s.shards {
 		for l, idxs := range s.shards[k].byLabel {
 			byLabel[l] = append(byLabel[l], idxs...)
 		}
 	}
-	s.byLabel = byLabel
+	return byLabel
 }
 
 // shardFor routes a global dense index to its owning shard.
@@ -319,8 +706,17 @@ func (s *Snapshot) HasEdgeAt(u, v int32) bool {
 // concurrent readers are safe); per-shard consumers should prefer
 // ShardIndexesWithLabel, which never materializes a full-graph index.
 func (s *Snapshot) IndexesWithLabel(l Label) []int32 {
-	s.byLabelOnce.Do(s.buildLabelIndex)
-	return s.byLabel[l]
+	if m := s.byLabel.Load(); m != nil {
+		return (*m)[l]
+	}
+	s.labelMu.Lock()
+	defer s.labelMu.Unlock()
+	if m := s.byLabel.Load(); m != nil {
+		return (*m)[l]
+	}
+	m := s.buildLabelIndex()
+	s.byLabel.Store(&m)
+	return m[l]
 }
 
 // Degree returns the degree of vertex v (0 if the vertex does not exist).

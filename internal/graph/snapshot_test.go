@@ -165,7 +165,9 @@ func TestFreezeShardedMatchesUnsharded(t *testing.T) {
 }
 
 // TestFreezeShardedCaching checks that snapshots are cached per resolved
-// shard size and that mutations drop every cached entry.
+// shard size and that a mutation makes the next freeze return a fresh
+// snapshot (incrementally rebuilt — see incremental_test.go — but never the
+// stale object).
 func TestFreezeShardedCaching(t *testing.T) {
 	g := buildTestGraph()
 	flat := g.Freeze()
