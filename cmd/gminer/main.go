@@ -5,28 +5,37 @@
 // Usage:
 //
 //	gminer -graph data.lg -measure MNI -minsup 5 [-maxsize 4] [-top 20]
+//	gminer -graph data.lg -minsup 5 -incremental -inserts 16
+//	                 # mine once, apply random edge inserts, and re-answer
+//	                 # from live delta-maintained support state (no cold
+//	                 # start), reporting refresh vs full re-mine latency
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	support "repro"
+	"repro/internal/gen"
 )
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "path to the data graph in .lg format (required)")
-		measure   = flag.String("measure", support.MNI, "support measure driving pruning; see gsupport -list")
-		minsup    = flag.Float64("minsup", 2, "minimum support threshold")
-		maxsize   = flag.Int("maxsize", 4, "maximum number of pattern nodes")
-		top       = flag.Int("top", 0, "print only the top-N patterns by support (0 = all)")
-		workers   = flag.Int("workers", 0, "candidate evaluation workers per search level (<2 = sequential)")
-		parallel  = flag.Int("parallel", 0, "per-candidate enumeration workers (0 = GOMAXPROCS, or sequential when -workers >= 2; 1 = sequential)")
-		shards    = flag.Int("shards", 0, "CSR snapshot shard count for per-candidate enumeration (0 = auto)")
-		streaming = flag.Bool("streaming", false, "force streaming contexts per candidate (MNI and raw counts only); streaming-capable measures stream by default")
-		material  = flag.Bool("materialize", false, "opt out of the default streaming contexts for streaming-capable measures (MNI)")
+		graphPath   = flag.String("graph", "", "path to the data graph in .lg format (required)")
+		measure     = flag.String("measure", support.MNI, "support measure driving pruning; see gsupport -list")
+		minsup      = flag.Float64("minsup", 2, "minimum support threshold")
+		maxsize     = flag.Int("maxsize", 4, "maximum number of pattern nodes")
+		top         = flag.Int("top", 0, "print only the top-N patterns by support (0 = all)")
+		workers     = flag.Int("workers", 0, "candidate evaluation workers per search level (<2 = sequential)")
+		parallel    = flag.Int("parallel", 0, "per-candidate enumeration workers (0 = GOMAXPROCS, or sequential when -workers >= 2; 1 = sequential)")
+		shards      = flag.Int("shards", 0, "CSR snapshot shard count for per-candidate enumeration (0 = auto)")
+		streaming   = flag.Bool("streaming", false, "force streaming contexts per candidate (MNI and raw counts only); streaming-capable measures stream by default")
+		material    = flag.Bool("materialize", false, "opt out of the default streaming contexts for streaming-capable measures (MNI)")
+		incremental = flag.Bool("incremental", false, "keep the mining session warm, apply -inserts random edge inserts, and re-answer via delta maintenance instead of a cold re-mine (streaming-capable measures only)")
+		inserts     = flag.Int("inserts", 8, "number of random edge inserts the -incremental mode applies")
+		insertSeed  = flag.Uint64("insert-seed", 1, "PRNG seed for the -incremental edge inserts")
 	)
 	flag.Parse()
 
@@ -42,7 +51,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := support.Mine(g, support.MinerConfig{
+	cfg := support.MinerConfig{
 		MinSupport:          *minsup,
 		MaxPatternSize:      *maxsize,
 		Measure:             m,
@@ -51,19 +60,101 @@ func main() {
 		EnumShards:          *shards,
 		Streaming:           *streaming,
 		MaterializeContexts: *material,
-	})
+	}
+
+	if *incremental {
+		mineIncremental(g, cfg, *measure, *minsup, *maxsize, *top, *inserts, *insertSeed)
+		return
+	}
+
+	res, err := support.Mine(g, cfg)
 	if err != nil {
 		fatal(err)
 	}
+	printHeader(g, *measure, *minsup, *maxsize)
+	printResult(res, *top)
+}
 
+// mineIncremental runs the warm-session workflow: mine once, mutate the
+// graph, and re-answer from the live delta state, reporting how the refresh
+// latency compares to a from-scratch re-mine of the mutated graph.
+func mineIncremental(g *support.Graph, cfg support.MinerConfig, measure string, minsup float64, maxsize, top, inserts int, seed uint64) {
+	inc, err := support.MineIncremental(g, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer inc.Close()
+
+	printHeader(g, measure, minsup, maxsize)
+	fmt.Printf("=== initial mine (tracked candidates: %d) ===\n", inc.TrackedPatterns())
+	printResult(inc.Result(), top)
+
+	applied := applyRandomInserts(g, inserts, seed)
+	if applied < inserts {
+		fmt.Printf("note: only %d of %d requested edge inserts were possible on this graph\n", applied, inserts)
+	}
+
+	start := time.Now()
+	res, err := inc.Refresh()
+	if err != nil {
+		fatal(err)
+	}
+	refreshElapsed := time.Since(start)
+
+	start = time.Now()
+	cold, err := support.Mine(g, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	coldElapsed := time.Since(start)
+	if len(cold.Patterns) != len(res.Patterns) {
+		fatal(fmt.Errorf("delta refresh found %d frequent patterns, cold re-mine found %d", len(res.Patterns), len(cold.Patterns)))
+	}
+
+	fmt.Printf("\n=== after %d random edge inserts ===\n", applied)
+	fmt.Printf("delta refresh:  %12s  (tracked candidates: %d)\n", refreshElapsed, inc.TrackedPatterns())
+	fmt.Printf("cold re-mine:   %12s  (same %d frequent patterns)\n\n", coldElapsed, len(cold.Patterns))
+	printResult(res, top)
+}
+
+// applyRandomInserts adds up to n random non-duplicate edges between
+// existing vertices and returns how many were actually applied — tiny or
+// near-complete graphs can run out of fresh edges before reaching n.
+func applyRandomInserts(g *support.Graph, n int, seed uint64) int {
+	rng := gen.NewRNG(seed)
+	ids := g.SortedVertices()
+	if len(ids) < 2 {
+		return 0
+	}
+	applied := 0
+	for i := 0; i < n; i++ {
+		for attempt := 0; attempt < 64; attempt++ {
+			u, v := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+				applied++
+				break
+			}
+		}
+	}
+	return applied
+}
+
+// printHeader describes the mining configuration.
+func printHeader(g *support.Graph, measure string, minsup float64, maxsize int) {
 	fmt.Printf("data graph: %s\nmeasure:    %s   threshold: %g   max pattern size: %d\n\n",
-		g, *measure, *minsup, *maxsize)
+		g, measure, minsup, maxsize)
+}
+
+// printResult renders a mining result, truncated to the top-N patterns when
+// asked to.
+func printResult(res *support.MinerResult, top int) {
 	fmt.Printf("candidates evaluated: %d   pruned: %d   duplicates skipped: %d   elapsed: %s\n\n",
 		res.Stats.Candidates, res.Stats.Pruned, res.Stats.Duplicates, res.Stats.Elapsed)
 
 	patterns := res.Patterns
-	if *top > 0 && *top < len(patterns) {
-		patterns = patterns[:*top]
+	if top > 0 && top < len(patterns) {
+		patterns = patterns[:top]
 	}
 	fmt.Printf("frequent patterns (%d total):\n", len(res.Patterns))
 	for i, fp := range patterns {

@@ -76,6 +76,76 @@ func ExampleMineWithMeasure() {
 	// patterns with 3 nodes: 2
 }
 
+// ExampleNewDeltaContext keeps the MNI support of a pattern warm across
+// graph mutations: Refresh applies exact deltas to the live domain tables
+// instead of re-enumerating, and the answers match a cold restart.
+func ExampleNewDeltaContext() {
+	g := support.NewGraphBuilder("dynamic").
+		Vertex(1, 1).Vertex(2, 2).Vertex(3, 1).Vertex(4, 2).
+		Edge(1, 2).Edge(3, 2).
+		MustBuild()
+	p := support.SingleEdgePattern(1, 2)
+
+	d, err := support.NewDeltaContext(g, p, support.ContextOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	mni, err := support.NewMeasure(support.MNI)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r, _ := mni.Compute(d.Context())
+	fmt.Printf("before: occurrences=%d MNI=%g\n", d.NumOccurrences(), r.Value)
+
+	// The graph grows; only the mutated region is re-enumerated.
+	g.MustAddVertex(5, 2)
+	g.MustAddEdge(1, 5)
+	g.MustAddEdge(3, 5)
+	if err := d.Refresh(); err != nil {
+		log.Fatal(err)
+	}
+	r, _ = mni.Compute(d.Context())
+	fmt.Printf("after:  occurrences=%d MNI=%g\n", d.NumOccurrences(), r.Value)
+	// Output:
+	// before: occurrences=2 MNI=1
+	// after:  occurrences=4 MNI=2
+}
+
+// ExampleMineIncremental keeps a whole mining session warm: after mutations,
+// Refresh re-answers the frequent-pattern question from delta-maintained
+// support state — including boundary patterns that newly crossed the
+// threshold — without a cold re-mine.
+func ExampleMineIncremental() {
+	g := support.NewGraphBuilder("growing").
+		Vertex(1, 1).Vertex(2, 1).Vertex(3, 2).
+		Edge(1, 2).Edge(1, 3).
+		MustBuild()
+
+	inc, err := support.MineIncremental(g, support.MinerConfig{MinSupport: 2, MaxPatternSize: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inc.Close()
+	fmt.Printf("initial: %d frequent of %d tracked candidates\n",
+		inc.Result().Stats.Frequent, inc.TrackedPatterns())
+
+	// A new edge pushes the (1)-(2) pattern over the threshold; Refresh
+	// expands from the tracked boundary instead of re-mining.
+	g.MustAddVertex(4, 2)
+	g.MustAddEdge(2, 4)
+	res, err := inc.Refresh()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after:   %d frequent of %d tracked candidates\n",
+		res.Stats.Frequent, inc.TrackedPatterns())
+	// Output:
+	// initial: 1 frequent of 2 tracked candidates
+	// after:   2 frequent of 2 tracked candidates
+}
+
 // ExampleSingleEdgePattern shows the smallest possible query: a labeled edge.
 func ExampleSingleEdgePattern() {
 	fig := support.PaperFigures()[5] // figure6

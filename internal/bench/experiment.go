@@ -92,6 +92,7 @@ func allExperiments() []Experiment {
 		enumerationExperiment(),
 		shardingExperiment(),
 		incrementalExperiment(),
+		deltaMNIExperiment(),
 		scalingExperiment(),
 		approxExperiment(),
 		lpExperiment(),

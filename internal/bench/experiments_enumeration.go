@@ -189,7 +189,8 @@ func MiningRecord(cfg Config) (EnumerationRecord, error) {
 }
 
 // NewEnumerationReport measures the enumeration records plus the end-to-end
-// mining record for the given configuration and wraps them in the
+// mining record (mine-mni) and the delta-maintenance pair (delta-mni /
+// delta-mni-full) for the given configuration and wraps them in the
 // BENCH_enumeration.json document structure.
 func NewEnumerationReport(cfg Config) (*EnumerationReport, error) {
 	records := EnumerationRecords(cfg)
@@ -198,6 +199,11 @@ func NewEnumerationReport(cfg Config) (*EnumerationReport, error) {
 		return nil, fmt.Errorf("bench: mining record: %w", err)
 	}
 	records = append(records, mining)
+	delta, err := DeltaMNIRecords(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: delta-mni records: %w", err)
+	}
+	records = append(records, delta...)
 	return &EnumerationReport{
 		Experiment: "enumeration",
 		GoMaxProcs: runtime.GOMAXPROCS(0),

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/pattern"
+)
+
+// DeltaContext keeps the streamed aggregates of a (graph, pattern) pair —
+// occurrence count, distinct-instance count and the per-node MNI domain
+// tables — alive across graph mutations, so support questions can be
+// re-answered after an update without re-enumerating the whole graph.
+//
+// It is the measure-level continuation of the graph layer's incremental
+// refreeze: where FreezeSharded rebuilds only dirty CSR shards, DeltaContext
+// re-enumerates only occurrences that can involve mutated structure. The
+// construction follows the dynamic query-answering discipline of Berkholz,
+// Keppeler and Schweikardt ("Answering FO+MOD queries under updates"): the
+// maintained state is a set of refcounted tables, and each update batch is
+// turned into exact insert/delete deltas against them.
+//
+// Mechanically, a DeltaContext subscribes to the graph's mutation feed and
+// retains the snapshot it last synchronized on. Refresh drains the feed and,
+// for a small update batch, runs two root-restricted enumerations over the
+// mutation ball (every vertex within pattern diameter of a mutated vertex,
+// which bounds where affected occurrences can be rooted): a plus-pass on the
+// new snapshot counts every occurrence touching mutated structure, a
+// minus-pass on the retained old snapshot counts the stale pre-mutation
+// contributions of the same region, and the signed difference is applied to
+// the refcounted domain and instance tables. Occurrences outside the ball
+// are untouched on both sides and never re-enumerated. Because the tables
+// are refcounted, the subtraction is exact — stale contributions are removed
+// entry by entry, not approximated — and the resulting aggregates are
+// identical to a from-scratch streamed Context for every shard count and
+// parallelism setting. When the ball grows past half the graph (a mutation
+// storm that saturates every shard), Refresh falls back to a from-scratch
+// re-enumeration instead, which is cheaper than two nearly-full delta passes
+// and keeps answers exact.
+//
+// A DeltaContext is not safe for concurrent use: Refresh and the read
+// accessors must not race with each other or with mutations of the
+// underlying graph, mirroring the Graph's own reader contract.
+type DeltaContext struct {
+	g    *graph.Graph
+	p    *pattern.Pattern
+	opts Options
+
+	feed *graph.MutationFeed
+	snap *graph.Snapshot // the snapshot the tables are synchronized with
+
+	nodes []pattern.NodeID
+	// counts[i][v] is the number of live occurrences mapping pattern node
+	// nodes[i] to data vertex v; entries are deleted when they reach zero,
+	// so len(counts[i]) is the MNI domain size of node i.
+	counts []map[graph.VertexID]int
+	// insts[key] is the number of live occurrences projecting onto the
+	// instance identified by key; len(insts) is the distinct-instance count.
+	insts  map[string]int
+	numOcc int
+
+	stats DeltaStats
+}
+
+// DeltaStats counts the maintenance work a DeltaContext has done; tests and
+// benchmarks use it to assert which path a refresh took.
+type DeltaStats struct {
+	// Refreshes is the number of Refresh calls, including no-op ones.
+	Refreshes int
+	// DeltaRefreshes counts refreshes applied as ball-restricted deltas.
+	DeltaRefreshes int
+	// FullRebuilds counts refreshes that fell back to from-scratch
+	// re-enumeration (saturating mutation batches).
+	FullRebuilds int
+	// LastBallVertices is the mutation-ball size of the most recent delta
+	// refresh: the number of candidate root vertices the two delta passes
+	// were restricted to.
+	LastBallVertices int
+}
+
+// NewDeltaContext builds the initial streamed aggregates of p in g (a full
+// enumeration, exactly as a streaming NewContext would) and subscribes to
+// g's mutation feed so later Refresh calls can maintain them incrementally.
+// Close the returned context when it is no longer needed.
+//
+// Options.Streaming is implied — a DeltaContext never materializes
+// occurrence lists or hypergraphs — and Options.MaxOccurrences must be zero:
+// a truncated enumeration has no well-defined delta.
+func NewDeltaContext(g *graph.Graph, p *pattern.Pattern, opts Options) (*DeltaContext, error) {
+	if g == nil || p == nil {
+		return nil, fmt.Errorf("core: nil graph or pattern")
+	}
+	if opts.MaxOccurrences != 0 {
+		return nil, fmt.Errorf("core: DeltaContext does not support MaxOccurrences (a truncated enumeration has no exact delta)")
+	}
+	opts.Streaming = true
+	d := &DeltaContext{
+		g:     g,
+		p:     p,
+		opts:  opts,
+		nodes: p.Nodes(),
+	}
+	d.counts = make([]map[graph.VertexID]int, len(d.nodes))
+	d.feed = g.Subscribe()
+	d.snap = g.FreezeSharded(graph.FreezeOptions{Shards: opts.Shards})
+	d.rebuild(d.snap)
+	return d, nil
+}
+
+// Close unsubscribes the context from the graph's mutation feed. The
+// aggregates remain readable but stop tracking further mutations.
+func (d *DeltaContext) Close() { d.feed.Close() }
+
+// Refresh synchronizes the maintained aggregates with every graph mutation
+// since the previous Refresh (or since construction). With no pending
+// mutations it is a no-op. Like all graph reads it must not race with
+// AddVertex/AddEdge.
+func (d *DeltaContext) Refresh() error {
+	muts := d.feed.Drain()
+	d.stats.Refreshes++
+	if len(muts) == 0 {
+		return nil
+	}
+	newSnap := d.g.FreezeSharded(graph.FreezeOptions{Shards: d.opts.Shards})
+
+	// The dirty vertex set: every vertex incident to mutated structure. An
+	// occurrence gained by the batch must touch it (a new occurrence uses an
+	// added edge or an added vertex), and membership is by VertexID, so old
+	// and new snapshots agree on which shared occurrences touch it — which
+	// is what makes the signed cancellation below exact.
+	dirty := make(map[graph.VertexID]bool, 2*len(muts))
+	for _, m := range muts {
+		switch m.Kind {
+		case graph.MutVertexAdded:
+			dirty[m.U] = true
+		case graph.MutEdgeAdded:
+			dirty[m.U] = true
+			dirty[m.V] = true
+		}
+	}
+
+	ball, ok := d.mutationBall(newSnap, dirty)
+	if !ok {
+		// Saturating batch: the ball covers most of the graph, so two
+		// restricted passes would cost more than one full one. Rebuild the
+		// tables from scratch; answers stay exact either way.
+		d.rebuild(newSnap)
+		d.stats.FullRebuilds++
+		d.snap = newSnap
+		return nil
+	}
+	d.stats.DeltaRefreshes++
+	d.stats.LastBallVertices = len(ball)
+
+	// Plus-pass: occurrences in the new graph rooted inside the ball and
+	// touching a dirty vertex. This covers every occurrence the batch added
+	// plus the surviving occurrences of the mutated region.
+	plus := d.enumerate(newSnap, ball, dirty)
+
+	// Minus-pass: the same region's occurrences in the retained pre-mutation
+	// snapshot — exactly the contributions already present in the tables.
+	// Old occurrences never contain added vertices, so the same dirty set
+	// filters both sides consistently. The ball transfers: old-graph edges
+	// are a subset of new-graph edges, so any old occurrence touching a
+	// dirty vertex is rooted within the new graph's ball too.
+	oldRoots := make([]int32, 0, len(ball))
+	for _, c := range ball {
+		if i, inOld := d.snap.IndexOf(newSnap.ID(c)); inOld {
+			oldRoots = append(oldRoots, i)
+		}
+	}
+	sort.Slice(oldRoots, func(i, j int) bool { return oldRoots[i] < oldRoots[j] })
+	minus := d.enumerate(d.snap, oldRoots, dirty)
+
+	d.apply(plus, +1)
+	d.apply(minus, -1)
+	d.snap = newSnap
+	return nil
+}
+
+// mutationBall collects the dense indexes (in snap's index space) of every
+// vertex within pattern diameter of a dirty vertex — the only places an
+// affected occurrence can be rooted. It reports ok=false when the ball
+// exceeds half the graph, the point where a full rebuild is cheaper than two
+// delta passes.
+func (d *DeltaContext) mutationBall(snap *graph.Snapshot, dirty map[graph.VertexID]bool) ([]int32, bool) {
+	limit := snap.NumVertices() / 2
+	radius := d.p.Size() - 1
+	visited := make(map[int32]bool, 4*len(dirty))
+	var ball, frontier []int32
+	for v := range dirty {
+		if i, inSnap := snap.IndexOf(v); inSnap && !visited[i] {
+			visited[i] = true
+			frontier = append(frontier, i)
+		}
+	}
+	ball = append(ball, frontier...)
+	if len(ball) > limit {
+		return nil, false
+	}
+	for depth := 0; depth < radius && len(frontier) > 0; depth++ {
+		var next []int32
+		for _, i := range frontier {
+			for _, nb := range snap.NeighborsAt(i) {
+				if visited[nb] {
+					continue
+				}
+				visited[nb] = true
+				next = append(next, nb)
+				ball = append(ball, nb)
+				if len(ball) > limit {
+					return nil, false
+				}
+			}
+		}
+		frontier = next
+	}
+	sort.Slice(ball, func(i, j int) bool { return ball[i] < ball[j] })
+	return ball, true
+}
+
+// deltaAcc is the per-worker accumulator of one delta enumeration pass; each
+// enumeration worker owns exactly one, so the hot path needs no locks.
+type deltaAcc struct {
+	occ    int
+	counts []map[graph.VertexID]int
+	insts  map[string]int
+	keyer  *instanceKeyer
+	// dirty filters the stream to occurrences touching a dirty vertex; nil
+	// accepts everything (full builds).
+	dirty map[graph.VertexID]bool
+}
+
+func (a *deltaAcc) yield(o *isomorph.Occurrence) bool {
+	if a.dirty != nil {
+		touched := false
+		for i := 0; i < o.Len(); i++ {
+			if a.dirty[o.ImageAt(i)] {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			return true
+		}
+	}
+	a.occ++
+	for i := range a.counts {
+		a.counts[i][o.ImageAt(i)]++
+	}
+	key := a.keyer.key(o)
+	a.insts[string(key)]++
+	return true
+}
+
+// enumerate streams the occurrences of d's pattern over snap — restricted to
+// the given sorted root indexes (nil = all roots) and filtered to those
+// touching dirty (nil = all occurrences) — into per-worker accumulators.
+func (d *DeltaContext) enumerate(snap *graph.Snapshot, roots []int32, dirty map[graph.VertexID]bool) []*deltaAcc {
+	if roots == nil && dirty != nil {
+		// Defensive: a restricted pass without roots would scan everything.
+		roots = []int32{}
+	}
+	var accs []*deltaAcc
+	isomorph.EnumerateSnapshotWorkers(snap, d.p,
+		isomorph.Options{Parallelism: d.opts.Parallelism, RootIndexes: roots},
+		func(int) func(*isomorph.Occurrence) bool {
+			a := &deltaAcc{
+				counts: make([]map[graph.VertexID]int, len(d.nodes)),
+				insts:  make(map[string]int),
+				keyer:  newInstanceKeyer(d.p, d.nodes),
+				dirty:  dirty,
+			}
+			for i := range a.counts {
+				a.counts[i] = make(map[graph.VertexID]int)
+			}
+			accs = append(accs, a)
+			return a.yield
+		})
+	return accs
+}
+
+// apply folds per-worker accumulators into the maintained tables with the
+// given sign. Entries reaching zero are deleted so domain sizes are plain
+// map lengths; a negative refcount means the plus/minus passes disagreed
+// about an occurrence, which the construction rules out.
+func (d *DeltaContext) apply(accs []*deltaAcc, sign int) {
+	for _, a := range accs {
+		d.numOcc += sign * a.occ
+		for i := range d.counts {
+			for v, c := range a.counts[i] {
+				next := d.counts[i][v] + sign*c
+				switch {
+				case next > 0:
+					d.counts[i][v] = next
+				case next == 0:
+					delete(d.counts[i], v)
+				default:
+					panic(fmt.Sprintf("core: DeltaContext domain refcount for node %d vertex %d went negative (%d)", d.nodes[i], v, next))
+				}
+			}
+		}
+		for k, c := range a.insts {
+			next := d.insts[k] + sign*c
+			switch {
+			case next > 0:
+				d.insts[k] = next
+			case next == 0:
+				delete(d.insts, k)
+			default:
+				panic(fmt.Sprintf("core: DeltaContext instance refcount for %q went negative (%d)", k, next))
+			}
+		}
+	}
+}
+
+// rebuild discards the maintained tables and recomputes them from a full
+// enumeration of snap.
+func (d *DeltaContext) rebuild(snap *graph.Snapshot) {
+	d.numOcc = 0
+	for i := range d.counts {
+		d.counts[i] = make(map[graph.VertexID]int)
+	}
+	d.insts = make(map[string]int)
+	d.apply(d.enumerate(snap, nil, nil), +1)
+}
+
+// Graph returns the underlying data graph.
+func (d *DeltaContext) Graph() *graph.Graph { return d.g }
+
+// Pattern returns the maintained query pattern.
+func (d *DeltaContext) Pattern() *pattern.Pattern { return d.p }
+
+// NumOccurrences returns the maintained occurrence count.
+func (d *DeltaContext) NumOccurrences() int { return d.numOcc }
+
+// NumInstances returns the maintained distinct-instance count.
+func (d *DeltaContext) NumInstances() int { return len(d.insts) }
+
+// MNIDomainSizes returns, aligned with Pattern().Nodes(), the maintained MNI
+// domain size of every pattern node as a fresh slice.
+func (d *DeltaContext) MNIDomainSizes() []int {
+	sizes := make([]int, len(d.counts))
+	for i := range d.counts {
+		sizes[i] = len(d.counts[i])
+	}
+	return sizes
+}
+
+// Stats returns the maintenance counters accumulated so far.
+func (d *DeltaContext) Stats() DeltaStats { return d.stats }
+
+// Context materializes the current aggregates as a streaming-mode Context,
+// the shape every measure consumes: MNI and the raw counts read the live
+// domain tables through it exactly as they would read a from-scratch
+// streamed context. The returned value is an immutable copy — later
+// Refreshes do not change it — and costs O(pattern size), not a scan of the
+// tables.
+func (d *DeltaContext) Context() *Context {
+	return &Context{
+		g:              d.g,
+		p:              d.p,
+		streaming:      true,
+		numOccurrences: d.numOcc,
+		numInstances:   len(d.insts),
+		domainSizes:    d.MNIDomainSizes(),
+		transitive:     make(map[isomorph.SubgraphPolicy][][]pattern.NodeID),
+	}
+}
+
+// String returns a compact summary of the maintained state.
+func (d *DeltaContext) String() string {
+	return fmt.Sprintf("DeltaContext(pattern k=%d, %d occurrences, %d instances, %d delta refreshes, %d full rebuilds)",
+		d.p.Size(), d.numOcc, len(d.insts), d.stats.DeltaRefreshes, d.stats.FullRebuilds)
+}

@@ -87,6 +87,11 @@ type Graph struct {
 	// tests use it to assert that incremental refreezes rebuild only dirty
 	// shards.
 	shardBuilds atomic.Int64
+
+	// feeds holds the open mutation feeds (see Subscribe); every structural
+	// mutation is appended to each of them.
+	feedMu sync.Mutex
+	feeds  []*MutationFeed
 }
 
 // New returns an empty graph with an optional name used in diagnostics.
@@ -142,6 +147,7 @@ func (g *Graph) AddVertex(v VertexID, label Label) error {
 		g.adjacency[v] = nil
 	}
 	g.noteVertexAdded(v)
+	g.notifyFeeds(Mutation{Kind: MutVertexAdded, U: v, Label: label})
 	return nil
 }
 
@@ -174,6 +180,7 @@ func (g *Graph) AddEdge(u, v VertexID) error {
 	g.adjacency[u] = append(g.adjacency[u], v)
 	g.adjacency[v] = append(g.adjacency[v], u)
 	g.noteEdgeAdded(u, v)
+	g.notifyFeeds(Mutation{Kind: MutEdgeAdded, U: e.U, V: e.V})
 	return nil
 }
 

@@ -1,0 +1,116 @@
+package graph
+
+import "sync"
+
+// MutationKind discriminates the structural mutations a Graph records into
+// subscribed MutationFeeds.
+type MutationKind uint8
+
+// The mutation kinds delivered through a MutationFeed. Renames (SetName) are
+// not structural and are never recorded.
+const (
+	// MutVertexAdded records a successful AddVertex; U is the new vertex and
+	// Label its label.
+	MutVertexAdded MutationKind = iota
+	// MutEdgeAdded records a successful AddEdge; U and V are the endpoints in
+	// normalized (U <= V) order.
+	MutEdgeAdded
+)
+
+// Mutation is one structural graph mutation as delivered by a MutationFeed.
+type Mutation struct {
+	// Kind says what happened.
+	Kind MutationKind
+	// U is the added vertex (MutVertexAdded) or the smaller edge endpoint
+	// (MutEdgeAdded).
+	U VertexID
+	// V is the larger edge endpoint; zero for vertex adds.
+	V VertexID
+	// Label is the label of the added vertex; zero for edge adds.
+	Label Label
+}
+
+// MutationFeed is a per-subscriber, append-only buffer of the structural
+// mutations applied to a Graph since the feed was created (or last drained).
+// It is the pull-based subscription behind incremental measure maintenance
+// (core.DeltaContext): the graph appends every successful AddVertex/AddEdge
+// to all open feeds, and subscribers call Drain to consume the batch they
+// have not yet processed.
+//
+// A feed's buffer grows with the number of undrained mutations, so long-lived
+// subscribers should drain on every synchronization point and Close feeds
+// they no longer need. Drain and Close are safe to call concurrently with
+// each other; like all Graph reads, they must not race with the mutation
+// methods themselves.
+type MutationFeed struct {
+	g *Graph
+
+	mu  sync.Mutex
+	buf []Mutation
+}
+
+// Subscribe registers a new mutation feed on the graph. Every structural
+// mutation applied after this call is appended to the returned feed until it
+// is closed. Mutations applied before the subscription are not replayed:
+// subscribers snapshot the current state first (e.g. by freezing and
+// enumerating) and use the feed for everything after.
+func (g *Graph) Subscribe() *MutationFeed {
+	f := &MutationFeed{g: g}
+	g.feedMu.Lock()
+	g.feeds = append(g.feeds, f)
+	g.feedMu.Unlock()
+	return f
+}
+
+// notifyFeeds appends a mutation to every open feed. It is called from the
+// mutation methods after the graph state has been updated.
+func (g *Graph) notifyFeeds(m Mutation) {
+	g.feedMu.Lock()
+	feeds := g.feeds
+	g.feedMu.Unlock()
+	for _, f := range feeds {
+		f.mu.Lock()
+		f.buf = append(f.buf, m)
+		f.mu.Unlock()
+	}
+}
+
+// Drain returns the mutations recorded since the previous Drain (or since
+// Subscribe) in application order and resets the feed's buffer. It returns
+// nil when nothing happened.
+func (f *MutationFeed) Drain() []Mutation {
+	f.mu.Lock()
+	out := f.buf
+	f.buf = nil
+	f.mu.Unlock()
+	return out
+}
+
+// Pending returns the number of undrained mutations.
+func (f *MutationFeed) Pending() int {
+	f.mu.Lock()
+	n := len(f.buf)
+	f.mu.Unlock()
+	return n
+}
+
+// Close unsubscribes the feed from its graph and discards any undrained
+// mutations. Closing an already-closed feed is a no-op.
+func (f *MutationFeed) Close() {
+	g := f.g
+	if g == nil {
+		return
+	}
+	f.g = nil
+	g.feedMu.Lock()
+	for i, other := range g.feeds {
+		if other == f {
+			g.feeds = append(g.feeds[:i], g.feeds[i+1:]...)
+			break
+		}
+	}
+	g.feedMu.Unlock()
+	f.mu.Lock()
+	f.buf = nil
+	f.mu.Unlock()
+}

@@ -1,0 +1,75 @@
+package graph
+
+import "testing"
+
+func TestMutationFeedRecordsInOrder(t *testing.T) {
+	g := New("feed")
+	g.MustAddVertex(1, 10)
+	f := g.Subscribe()
+	if got := f.Drain(); got != nil {
+		t.Fatalf("fresh feed drained %v, want nil (no replay of pre-subscription mutations)", got)
+	}
+
+	g.MustAddVertex(2, 20)
+	g.MustAddEdge(2, 1) // stored normalized as (1,2)
+	g.MustAddVertex(3, 30)
+	if got, want := f.Pending(), 3; got != want {
+		t.Fatalf("Pending() = %d, want %d", got, want)
+	}
+
+	got := f.Drain()
+	want := []Mutation{
+		{Kind: MutVertexAdded, U: 2, Label: 20},
+		{Kind: MutEdgeAdded, U: 1, V: 2},
+		{Kind: MutVertexAdded, U: 3, Label: 30},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Drain() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Drain()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := f.Drain(); got != nil {
+		t.Fatalf("second Drain() = %v, want nil", got)
+	}
+}
+
+func TestMutationFeedIgnoresRejectedAndNoopMutations(t *testing.T) {
+	g := New("feed")
+	g.MustAddVertex(1, 10)
+	g.MustAddVertex(2, 10)
+	g.MustAddEdge(1, 2)
+	f := g.Subscribe()
+
+	g.AddVertex(1, 10)  // no-op re-add
+	g.AddVertex(1, 99)  // rejected relabel
+	g.AddEdge(1, 2)     // duplicate edge
+	g.AddEdge(1, 1)     // self loop
+	g.AddEdge(1, 7)     // unknown endpoint
+	g.SetName("rename") // not structural
+
+	if got := f.Drain(); got != nil {
+		t.Fatalf("Drain() after rejected/no-op mutations = %v, want nil", got)
+	}
+}
+
+func TestMutationFeedCloseUnsubscribes(t *testing.T) {
+	g := New("feed")
+	g.MustAddVertex(1, 10)
+	a := g.Subscribe()
+	b := g.Subscribe()
+
+	g.MustAddVertex(2, 20)
+	a.Close()
+	a.Close() // idempotent
+	g.MustAddEdge(1, 2)
+
+	if got := a.Drain(); got != nil {
+		t.Fatalf("closed feed drained %v, want nil", got)
+	}
+	if got := len(b.Drain()); got != 2 {
+		t.Fatalf("surviving feed drained %d mutations, want 2", got)
+	}
+}

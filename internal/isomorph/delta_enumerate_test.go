@@ -1,0 +1,143 @@
+package isomorph_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/pattern"
+)
+
+// collectSnapshot materializes the occurrences EnumerateSnapshotWorkers
+// streams for the given snapshot and options, in canonical order.
+func collectSnapshot(snap *graph.Snapshot, p *pattern.Pattern, opts isomorph.Options) []*isomorph.Occurrence {
+	var buckets [][]*isomorph.Occurrence
+	isomorph.EnumerateSnapshotWorkers(snap, p, opts, func(int) func(*isomorph.Occurrence) bool {
+		i := len(buckets)
+		buckets = append(buckets, nil)
+		return func(o *isomorph.Occurrence) bool {
+			buckets[i] = append(buckets[i], o)
+			return true
+		}
+	})
+	return isomorph.MergeSortedOccurrences(buckets)
+}
+
+// starPattern returns a 4-node star whose center (label 1) is the unique
+// highest-degree pattern node, so the search order provably roots every
+// occurrence at the center's image.
+func starPattern() *pattern.Pattern {
+	return pattern.MustNew(graph.NewBuilder("star").
+		Vertex(0, 1).Vertex(1, 2).Vertex(2, 2).Vertex(3, 2).
+		Star(0, 1, 2, 3).
+		MustBuild())
+}
+
+// TestEnumerateSnapshotMatchesGraphEnumeration pins the snapshot-pinned entry
+// point to the graph-level one: enumerating over the graph's own frozen
+// snapshot is identical to EnumerateWorkers for every shard and parallelism
+// combination.
+func TestEnumerateSnapshotMatchesGraphEnumeration(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, gen.UniformLabels{K: 2}, 7)
+	p := starPattern()
+	want := occurrenceKeys(isomorph.Enumerate(g, p, isomorph.Options{Parallelism: 1}))
+	if len(want) == 0 {
+		t.Fatal("workload enumerated no occurrences; test needs a non-trivial set")
+	}
+	for _, shards := range []int{1, 2, 7} {
+		for _, par := range []int{1, 4} {
+			snap := g.FreezeSharded(graph.FreezeOptions{Shards: shards})
+			got := occurrenceKeys(collectSnapshot(snap, p, isomorph.Options{Parallelism: par}))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shards=%d par=%d: snapshot enumeration diverged: %d occurrences, want %d",
+					shards, par, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestRootRestrictedEnumeration checks Options.RootIndexes semantics: the
+// restricted run yields exactly the occurrences rooted at the allowed dense
+// indexes (for the star pattern, those whose center image is allowed), and
+// the result is identical across shard counts and parallelism.
+func TestRootRestrictedEnumeration(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, gen.UniformLabels{K: 2}, 7)
+	p := starPattern()
+	center := p.Nodes()[0]
+
+	snap := g.Freeze()
+	full := isomorph.Enumerate(g, p, isomorph.Options{Parallelism: 1})
+
+	// Allow every other label-1 root.
+	all := snap.IndexesWithLabel(1)
+	var allowed []int32
+	allowedSet := make(map[graph.VertexID]bool)
+	for i, c := range all {
+		if i%2 == 0 {
+			allowed = append(allowed, c)
+			allowedSet[snap.ID(c)] = true
+		}
+	}
+
+	var wantOccs []*isomorph.Occurrence
+	for _, o := range full {
+		if allowedSet[o.MustImage(center)] {
+			wantOccs = append(wantOccs, o)
+		}
+	}
+	want := occurrenceKeys(wantOccs)
+	if len(want) == 0 || len(want) == len(full) {
+		t.Fatalf("restriction kept %d of %d occurrences; test needs a proper subset", len(want), len(full))
+	}
+
+	for _, shards := range []int{1, 2, 7} {
+		for _, par := range []int{1, 4} {
+			sh := g.FreezeSharded(graph.FreezeOptions{Shards: shards})
+			// Dense indexes are snapshot-specific: re-resolve the allowed
+			// vertex IDs against this snapshot.
+			var roots []int32
+			for _, c := range sh.IndexesWithLabel(1) {
+				if allowedSet[sh.ID(c)] {
+					roots = append(roots, c)
+				}
+			}
+			got := occurrenceKeys(collectSnapshot(sh, p, isomorph.Options{Parallelism: par, RootIndexes: roots}))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shards=%d par=%d: restricted enumeration yielded %d occurrences, want %d",
+					shards, par, len(got), len(want))
+			}
+		}
+	}
+
+	// An empty (but non-nil) restriction enumerates nothing.
+	if got := collectSnapshot(snap, p, isomorph.Options{RootIndexes: []int32{}}); len(got) != 0 {
+		t.Fatalf("empty root restriction enumerated %d occurrences, want 0", len(got))
+	}
+}
+
+// TestEnumerateSnapshotIsHistorical checks that a retained snapshot keeps
+// answering with pre-mutation state: mutations that add occurrences are
+// visible through a fresh freeze but not through the old snapshot.
+func TestEnumerateSnapshotIsHistorical(t *testing.T) {
+	g := graph.NewBuilder("hist").
+		Vertex(0, 1).Vertex(1, 2).Vertex(2, 2).Vertex(3, 2).
+		Star(0, 1, 2, 3).
+		MustBuild()
+	p := starPattern()
+
+	old := g.Freeze()
+	before := occurrenceKeys(collectSnapshot(old, p, isomorph.Options{}))
+
+	g.MustAddVertex(4, 2)
+	g.MustAddEdge(0, 4) // the center gains a leaf: new stars appear
+
+	after := occurrenceKeys(collectSnapshot(g.Freeze(), p, isomorph.Options{}))
+	if len(after) <= len(before) {
+		t.Fatalf("mutation added no occurrences (%d -> %d); workload broken", len(before), len(after))
+	}
+	if got := occurrenceKeys(collectSnapshot(old, p, isomorph.Options{})); !reflect.DeepEqual(got, before) {
+		t.Fatalf("old snapshot enumeration changed after mutation: %d occurrences, want %d", len(got), len(before))
+	}
+}

@@ -30,8 +30,26 @@ type Options struct {
 	// to powers of two). Root candidates are partitioned
 	// shard-first, so parallel workers drain whole shards — keeping their hot
 	// loops inside one shard's arrays — before stealing across shards. The
-	// enumerated occurrence set is identical for every setting.
+	// enumerated occurrence set is identical for every setting. Ignored by
+	// the EnumerateSnapshot* entry points, which run on the snapshot they
+	// are handed.
 	Shards int
+	// RootIndexes, when non-nil, restricts the search to occurrences rooted
+	// at the given global dense indexes of the snapshot the search runs on
+	// (the root is the data vertex matched to the first pattern node of the
+	// search order). The slice must be sorted ascending. Restriction happens
+	// per shard — the sorted set is intersected with each shard's pruned
+	// candidate list, and shards with an empty intersection drop out of the
+	// worker schedule entirely — so a restriction clustered in a few dirty
+	// shards skips every clean shard's arrays. This is the engine hook
+	// behind incremental delta maintenance (core.DeltaContext), which
+	// restricts roots to the mutation ball and enumerates only occurrences
+	// that can reach into dirty shards.
+	//
+	// Dense indexes are snapshot-specific, so RootIndexes is only meaningful
+	// with the EnumerateSnapshot* entry points that pin the snapshot the
+	// indexes were computed against.
+	RootIndexes []int32
 }
 
 // workers resolves the effective worker count for a search with the given
@@ -84,15 +102,14 @@ type searchPlan struct {
 	numRoots     int
 }
 
-// newSearchPlan freezes g and compiles the matching order of p against the
+// newSearchPlan compiles the matching order of p against the given frozen
 // snapshot. It returns nil when the pattern cannot occur at all (empty
-// pattern, or a label absent from the data graph).
-func newSearchPlan(g *graph.Graph, p *pattern.Pattern, opts Options) *searchPlan {
+// pattern, a label absent from the data graph, or an empty root restriction).
+func newSearchPlan(snap *graph.Snapshot, p *pattern.Pattern, opts Options) *searchPlan {
 	order := searchOrder(p)
 	if len(order) == 0 {
 		return nil
 	}
-	snap := g.FreezeSharded(graph.FreezeOptions{Shards: opts.Shards})
 	nodes := p.Nodes()
 	posOf := make(map[pattern.NodeID]int, len(nodes))
 	for i, n := range nodes {
@@ -122,8 +139,12 @@ func newSearchPlan(g *graph.Graph, p *pattern.Pattern, opts Options) *searchPlan
 	}
 
 	for s := 0; s < snap.NumShards(); s++ {
+		candidates := snap.ShardIndexesWithLabel(s, pl.label[0])
+		if opts.RootIndexes != nil {
+			candidates = intersectSorted(candidates, opts.RootIndexes)
+		}
 		var roots []int32
-		for _, c := range snap.ShardIndexesWithLabel(s, pl.label[0]) {
+		for _, c := range candidates {
 			if snap.DegreeAt(c) >= pl.minDeg[0] {
 				roots = append(roots, c)
 			}
@@ -137,6 +158,26 @@ func newSearchPlan(g *graph.Graph, p *pattern.Pattern, opts Options) *searchPlan
 		return nil
 	}
 	return pl
+}
+
+// intersectSorted returns the values present in both sorted ascending int32
+// slices, allocating only when the intersection is non-empty.
+func intersectSorted(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
 }
 
 // searchState is the per-worker mutable state of the backtracking search.
@@ -250,7 +291,10 @@ func (s *searchState) emit() bool {
 // EnumerateWorkers is the streaming core of the enumeration engine: it
 // partitions the root candidates of pattern p in data graph g across a worker
 // pool and streams every occurrence into per-worker consumers, without
-// materializing any occurrence list.
+// materializing any occurrence list. The search runs on g's cached CSR
+// snapshot at the granularity selected by Options.Shards, freezing it first
+// when necessary; EnumerateSnapshotWorkers is the variant that pins an
+// explicit (possibly historical) snapshot instead.
 //
 // newYield is invoked once per worker, serially, before the workers start;
 // the returned consumer is then called from that worker's goroutine only, so
@@ -260,7 +304,19 @@ func (s *searchState) emit() bool {
 // input in auto mode) everything runs on the calling goroutine in the
 // deterministic sequential search order.
 func EnumerateWorkers(g *graph.Graph, p *pattern.Pattern, opts Options, newYield func(worker int) func(*Occurrence) bool) {
-	pl := newSearchPlan(g, p, opts)
+	EnumerateSnapshotWorkers(g.FreezeSharded(graph.FreezeOptions{Shards: opts.Shards}), p, opts, newYield)
+}
+
+// EnumerateSnapshotWorkers is EnumerateWorkers over an explicit frozen
+// snapshot instead of a graph's current cached one. Because snapshots are
+// immutable, this is the entry point for enumeration against historical
+// state: incremental delta maintenance (core.DeltaContext) uses it to
+// re-enumerate the pre-mutation occurrence set on the retained old snapshot
+// while the graph has already moved on. Options.Shards is ignored — the
+// snapshot's own shard geometry applies — and Options.RootIndexes refers to
+// this snapshot's dense-index space.
+func EnumerateSnapshotWorkers(snap *graph.Snapshot, p *pattern.Pattern, opts Options, newYield func(worker int) func(*Occurrence) bool) {
+	pl := newSearchPlan(snap, p, opts)
 	if pl == nil {
 		return
 	}

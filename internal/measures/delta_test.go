@@ -1,0 +1,70 @@
+package measures_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/measures"
+	"repro/internal/pattern"
+)
+
+// TestMNIOnDeltaContext checks that MNI and the raw counts read the live
+// delta-maintained domain tables through DeltaContext.Context exactly as
+// they read a from-scratch streamed context — before and after mutations —
+// while the materialized-only measures keep refusing the streaming shape.
+func TestMNIOnDeltaContext(t *testing.T) {
+	tri := pattern.MustNew(graph.NewBuilder("tri").Vertices(1, 0, 1, 2).Cycle(0, 1, 2).MustBuild())
+	g := gen.BarabasiAlbert(180, 3, gen.UniformLabels{K: 2}, 11)
+	d, err := core.NewDeltaContext(g, tri, core.Options{})
+	if err != nil {
+		t.Fatalf("NewDeltaContext: %v", err)
+	}
+	defer d.Close()
+
+	check := func(tag string) {
+		t.Helper()
+		fresh := core.MustNewContext(g.Clone(), tri, core.Options{Parallelism: 1, Streaming: true})
+		live := d.Context()
+		for _, m := range []measures.Measure{measures.MNI{}, measures.RawCount{}, measures.RawCount{Instances: true}} {
+			got, err := m.Compute(live)
+			if err != nil {
+				t.Fatalf("%s: %s on delta context: %v", tag, m.Name(), err)
+			}
+			want, err := m.Compute(fresh)
+			if err != nil {
+				t.Fatalf("%s: %s on scratch context: %v", tag, m.Name(), err)
+			}
+			if got != want {
+				t.Fatalf("%s: %s = %+v on delta context, %+v on scratch", tag, m.Name(), got, want)
+			}
+		}
+		if _, err := (measures.MVC{}).Compute(live); err == nil {
+			t.Fatalf("%s: MVC accepted the streaming delta context", tag)
+		}
+	}
+
+	check("initial")
+	ids := g.SortedVertices()
+	g.MustAddEdge(ids[1], ids[97])
+	g.MustAddVertex(50_000, 1)
+	g.MustAddEdge(50_000, ids[1])
+	if err := d.Refresh(); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	check("after mutations")
+
+	// The Context view is an immutable copy: a later mutation + refresh must
+	// not retroactively change a previously materialized view.
+	before := d.Context()
+	occ := before.NumOccurrences()
+	g.MustAddEdge(ids[2], ids[55])
+	g.MustAddEdge(ids[2], ids[56])
+	if err := d.Refresh(); err != nil {
+		t.Fatalf("second Refresh: %v", err)
+	}
+	if before.NumOccurrences() != occ {
+		t.Fatalf("materialized view changed after refresh: %d -> %d occurrences", occ, before.NumOccurrences())
+	}
+}

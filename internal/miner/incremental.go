@@ -1,0 +1,375 @@
+package miner
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/measures"
+	"repro/internal/pattern"
+)
+
+// Incremental is a mining session that stays warm across graph mutations:
+// after the initial Mine-equivalent run it keeps a core.DeltaContext alive
+// for every evaluated candidate — the frequent patterns and the pruned
+// boundary alike — and Refresh re-answers the frequent-pattern question by
+// applying occurrence deltas to those live contexts instead of re-mining
+// from a cold start.
+//
+// Keeping the pruned boundary warm is what makes Refresh complete, not just
+// fast: supports only grow under the insert-only mutation model, so a
+// pattern can newly become frequent only by crossing the threshold at the
+// boundary (anti-monotonicity guarantees all its subpatterns crossed first).
+// When that happens Refresh expands the search from exactly those patterns,
+// evaluating newly reachable candidates (the only cold enumerations left)
+// and growing the tracked set. Refresh results are therefore identical to
+// running Mine from scratch on the mutated graph — the session trades the
+// memory of the tracked contexts for never paying the full re-enumeration.
+//
+// An Incremental session is single-threaded: Refresh and the accessors must
+// not race with each other or with mutations of the data graph.
+type Incremental struct {
+	g   *graph.Graph
+	cfg Config
+
+	feed *graph.MutationFeed
+	// tracked maps canonical pattern codes to their live mining state; it
+	// only ever grows (a tracked pattern is never evicted, because its
+	// support can only grow toward the threshold).
+	tracked map[string]*trackedPattern
+	// labels is the label alphabet extensions are generated over; new vertex
+	// labels widen it on Refresh.
+	labels map[graph.Label]bool
+	// seedPairs records the one-edge label pairs already seeded.
+	seedPairs map[[2]graph.Label]bool
+
+	duplicates int
+	result     *Result
+}
+
+// trackedPattern is one candidate pattern kept warm across mutations.
+type trackedPattern struct {
+	p        *pattern.Pattern
+	code     string
+	delta    *core.DeltaContext
+	support  float64
+	exact    bool
+	frequent bool
+}
+
+// NewIncremental starts an incremental mining session: it runs the initial
+// mining fixpoint (equivalent to Mine) and retains a live delta context per
+// evaluated candidate. The configuration is validated as by New, with three
+// extra constraints that make exact delta maintenance possible: the measure
+// must be streaming-capable (it is evaluated on live streamed aggregates),
+// and MaxOccurrences/MaxPatterns must be zero (truncated enumerations and
+// truncated result sets have no well-defined delta).
+func NewIncremental(g *graph.Graph, cfg Config) (*Incremental, error) {
+	m, err := New(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = m.Config()
+	if !measures.SupportsStreaming(cfg.Measure) {
+		return nil, fmt.Errorf("miner: incremental mining requires a streaming-capable measure, %s is not", cfg.Measure.Name())
+	}
+	if cfg.MaxOccurrences != 0 {
+		return nil, fmt.Errorf("miner: incremental mining does not support MaxOccurrences")
+	}
+	if cfg.MaxPatterns != 0 {
+		return nil, fmt.Errorf("miner: incremental mining does not support MaxPatterns")
+	}
+	if cfg.MaterializeContexts {
+		return nil, fmt.Errorf("miner: incremental mining always runs on streamed delta contexts; MaterializeContexts is not supported")
+	}
+	inc := &Incremental{
+		g:         g,
+		cfg:       cfg,
+		tracked:   make(map[string]*trackedPattern),
+		labels:    make(map[graph.Label]bool),
+		seedPairs: make(map[[2]graph.Label]bool),
+	}
+	for _, l := range g.Labels() {
+		inc.labels[l] = true
+	}
+	// Subscribe before the initial run: mutations applied between the
+	// initial enumerations and the first Refresh are then never lost.
+	inc.feed = g.Subscribe()
+
+	start := time.Now()
+	seeds, err := inc.seedNew(g.Edges())
+	if err != nil {
+		inc.Close()
+		return nil, err
+	}
+	if err := inc.expand(seeds); err != nil {
+		inc.Close()
+		return nil, err
+	}
+	inc.assemble(time.Since(start))
+	return inc, nil
+}
+
+// Close releases every live delta context and the session's mutation feed.
+// The last Result stays readable.
+func (inc *Incremental) Close() {
+	for _, tp := range inc.tracked {
+		tp.delta.Close()
+	}
+	inc.feed.Close()
+}
+
+// Result returns the outcome of the most recent initial run or Refresh. The
+// Stats describe the whole session: Candidates/Pruned/Frequent count the
+// currently tracked patterns, Duplicates accumulates across runs, and
+// Elapsed is the duration of the most recent run only.
+func (inc *Incremental) Result() *Result { return inc.result }
+
+// TrackedPatterns returns the number of candidates kept warm (frequent
+// patterns plus the pruned boundary).
+func (inc *Incremental) TrackedPatterns() int { return len(inc.tracked) }
+
+// Refresh synchronizes the session with every graph mutation since the
+// previous run and returns the updated mining result, equal to what Mine
+// would report on the mutated graph. The support of every tracked pattern
+// is delta-maintained (no cold re-enumeration); only patterns that newly
+// become reachable — extensions past a boundary pattern that crossed the
+// threshold, or seeds over new label pairs — are enumerated from scratch,
+// once, on their way into the tracked set.
+func (inc *Incremental) Refresh() (*Result, error) {
+	muts := inc.feed.Drain()
+	if len(muts) == 0 {
+		return inc.result, nil
+	}
+	start := time.Now()
+
+	// Widen the label alphabet first: extension generation below must see
+	// labels introduced by this batch.
+	labelsGrew := false
+	for _, m := range muts {
+		if m.Kind == graph.MutVertexAdded && !inc.labels[m.Label] {
+			inc.labels[m.Label] = true
+			labelsGrew = true
+		}
+	}
+
+	// Delta-refresh every tracked candidate and collect the boundary
+	// patterns that crossed the threshold. inFrontier guards against
+	// queueing a pattern twice (a threshold crossing and an alphabet
+	// widening in one batch would otherwise both enqueue it).
+	var frontier []*trackedPattern
+	inFrontier := make(map[string]bool)
+	enqueue := func(tp *trackedPattern) {
+		if !inFrontier[tp.code] {
+			inFrontier[tp.code] = true
+			frontier = append(frontier, tp)
+		}
+	}
+	for _, tp := range inc.sortedTracked() {
+		if err := tp.delta.Refresh(); err != nil {
+			return nil, fmt.Errorf("miner: refreshing %s: %w", tp.p, err)
+		}
+		wasFrequent := tp.frequent
+		if err := inc.evaluateTracked(tp); err != nil {
+			return nil, err
+		}
+		if tp.frequent && !wasFrequent {
+			enqueue(tp)
+		}
+	}
+
+	// New one-edge seeds can only come from added edges over unseen label
+	// pairs.
+	var newEdges []graph.Edge
+	for _, m := range muts {
+		if m.Kind == graph.MutEdgeAdded {
+			newEdges = append(newEdges, graph.Edge{U: m.U, V: m.V})
+		}
+	}
+	seeds, err := inc.seedNew(newEdges)
+	if err != nil {
+		return nil, err
+	}
+	for _, tp := range seeds {
+		enqueue(tp)
+	}
+
+	// A wider alphabet can unlock extensions of patterns that were already
+	// frequent, so those must be re-extended too (existing extension codes
+	// de-duplicate against the tracked set).
+	if labelsGrew {
+		for _, tp := range inc.sortedTracked() {
+			if tp.frequent {
+				enqueue(tp)
+			}
+		}
+	}
+
+	if err := inc.expand(frontier); err != nil {
+		return nil, err
+	}
+	inc.assemble(time.Since(start))
+	return inc.result, nil
+}
+
+// seedNew tracks the one-edge seed pattern of every not-yet-seen label pair
+// among the given data edges and returns the newly created candidates.
+func (inc *Incremental) seedNew(edges []graph.Edge) ([]*trackedPattern, error) {
+	var pairs [][2]graph.Label
+	for _, e := range edges {
+		la, lb := inc.g.MustLabelOf(e.U), inc.g.MustLabelOf(e.V)
+		if la > lb {
+			la, lb = lb, la
+		}
+		key := [2]graph.Label{la, lb}
+		if inc.seedPairs[key] {
+			continue
+		}
+		inc.seedPairs[key] = true
+		pairs = append(pairs, key)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	var out []*trackedPattern
+	for _, pr := range pairs {
+		p := pattern.SingleEdge(pr[0], pr[1])
+		code := p.CanonicalCode()
+		if _, ok := inc.tracked[code]; ok {
+			inc.duplicates++
+			continue
+		}
+		tp, err := inc.track(p, code)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tp)
+	}
+	return out, nil
+}
+
+// expand runs the mining fixpoint from the given frontier: every frequent
+// frontier pattern is extended over the current alphabet, unseen extension
+// codes are tracked and evaluated (the only cold enumerations in the
+// session), and newly tracked frequent patterns join the next wave.
+func (inc *Incremental) expand(frontier []*trackedPattern) error {
+	labels := inc.labelList()
+	for len(frontier) > 0 {
+		sort.Slice(frontier, func(i, j int) bool {
+			if ni, nj := frontier[i].p.NumEdges(), frontier[j].p.NumEdges(); ni != nj {
+				return ni < nj
+			}
+			return frontier[i].code < frontier[j].code
+		})
+		var next []*trackedPattern
+		for _, tp := range frontier {
+			if !tp.frequent {
+				continue
+			}
+			for _, ext := range tp.p.Extend(labels) {
+				if ext.Result.Size() > inc.cfg.MaxPatternSize {
+					continue
+				}
+				code := ext.Result.CanonicalCode()
+				if _, ok := inc.tracked[code]; ok {
+					inc.duplicates++
+					continue
+				}
+				grown, err := inc.track(ext.Result, code)
+				if err != nil {
+					return err
+				}
+				next = append(next, grown)
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// track builds the live delta context of a new candidate, evaluates it, and
+// adds it to the tracked set.
+func (inc *Incremental) track(p *pattern.Pattern, code string) (*trackedPattern, error) {
+	d, err := core.NewDeltaContext(inc.g, p, core.Options{
+		Parallelism: inc.cfg.EnumParallelism,
+		Shards:      inc.cfg.EnumShards,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("miner: building delta context for %s: %w", p, err)
+	}
+	tp := &trackedPattern{p: p, code: code, delta: d}
+	if err := inc.evaluateTracked(tp); err != nil {
+		d.Close()
+		return nil, err
+	}
+	inc.tracked[code] = tp
+	return tp, nil
+}
+
+// evaluateTracked computes the configured measure on a candidate's live
+// aggregates and updates its support/frequent state.
+func (inc *Incremental) evaluateTracked(tp *trackedPattern) error {
+	r, err := inc.cfg.Measure.Compute(tp.delta.Context())
+	if err != nil {
+		return fmt.Errorf("miner: computing %s for %s: %w", inc.cfg.Measure.Name(), tp.p, err)
+	}
+	tp.support = r.Value
+	tp.exact = r.Exact
+	tp.frequent = r.Value >= inc.cfg.MinSupport
+	return nil
+}
+
+// sortedTracked returns the tracked candidates in the deterministic
+// reporting order: by edge count (the BFS level, since every grow step adds
+// one edge), then canonical code.
+func (inc *Incremental) sortedTracked() []*trackedPattern {
+	out := make([]*trackedPattern, 0, len(inc.tracked))
+	for _, tp := range inc.tracked {
+		out = append(out, tp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if ni, nj := out[i].p.NumEdges(), out[j].p.NumEdges(); ni != nj {
+			return ni < nj
+		}
+		return out[i].code < out[j].code
+	})
+	return out
+}
+
+// labelList returns the session's alphabet as a sorted slice.
+func (inc *Incremental) labelList() []graph.Label {
+	out := make([]graph.Label, 0, len(inc.labels))
+	for l := range inc.labels {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// assemble rebuilds the session's Result from the tracked set.
+func (inc *Incremental) assemble(elapsed time.Duration) {
+	res := &Result{}
+	for _, tp := range inc.sortedTracked() {
+		res.Stats.Candidates++
+		if !tp.frequent {
+			res.Stats.Pruned++
+			continue
+		}
+		res.Patterns = append(res.Patterns, FrequentPattern{
+			Pattern:     tp.p,
+			Support:     tp.support,
+			Exact:       tp.exact,
+			Occurrences: tp.delta.NumOccurrences(),
+			Instances:   tp.delta.NumInstances(),
+		})
+		res.Stats.Frequent++
+	}
+	res.Stats.Duplicates = inc.duplicates
+	res.Stats.Elapsed = elapsed
+	inc.result = res
+}

@@ -1,0 +1,120 @@
+package miner_test
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/measures"
+	"repro/internal/miner"
+)
+
+// requireSameMining asserts that an incremental session's result matches a
+// from-scratch Mine of the same graph: same patterns in the same order, with
+// identical supports and raw counts.
+func requireSameMining(t *testing.T, got, want *miner.Result, tag string) {
+	t.Helper()
+	if len(got.Patterns) != len(want.Patterns) {
+		t.Fatalf("%s: incremental found %d frequent patterns, fresh mine found %d", tag, len(got.Patterns), len(want.Patterns))
+	}
+	for i := range want.Patterns {
+		g, w := got.Patterns[i], want.Patterns[i]
+		if g.Pattern.CanonicalCode() != w.Pattern.CanonicalCode() {
+			t.Fatalf("%s: pattern %d differs: %s vs %s", tag, i, g.Pattern, w.Pattern)
+		}
+		if g.Support != w.Support || g.Exact != w.Exact || g.Occurrences != w.Occurrences || g.Instances != w.Instances {
+			t.Fatalf("%s: pattern %d (%s): got support=%v exact=%v occ=%d inst=%d, want support=%v exact=%v occ=%d inst=%d",
+				tag, i, g.Pattern, g.Support, g.Exact, g.Occurrences, g.Instances, w.Support, w.Exact, w.Occurrences, w.Instances)
+		}
+	}
+}
+
+func freshMine(t *testing.T, g *graph.Graph, cfg miner.Config) *miner.Result {
+	t.Helper()
+	m, err := miner.New(g.Clone(), cfg)
+	if err != nil {
+		t.Fatalf("miner.New: %v", err)
+	}
+	res, err := m.Mine()
+	if err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+	return res
+}
+
+// TestIncrementalMatchesFreshMine drives an incremental session through
+// mutation batches and checks after every Refresh that the answers are
+// identical to re-mining the mutated graph from scratch — including batches
+// that push boundary patterns over the threshold and batches that introduce
+// brand-new labels (both forcing the session to expand its tracked set).
+func TestIncrementalMatchesFreshMine(t *testing.T) {
+	cfg := miner.Config{MinSupport: 4, MaxPatternSize: 4, EnumParallelism: 1}
+	g := gen.BarabasiAlbert(90, 2, gen.UniformLabels{K: 3}, 7)
+
+	inc, err := miner.NewIncremental(g, cfg)
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+	defer inc.Close()
+	requireSameMining(t, inc.Result(), freshMine(t, g, cfg), "initial")
+	if inc.TrackedPatterns() <= len(inc.Result().Patterns) {
+		t.Fatalf("session tracks %d patterns but reports %d frequent; the pruned boundary should be tracked too",
+			inc.TrackedPatterns(), len(inc.Result().Patterns))
+	}
+
+	// Batch 1: densify around existing vertices so boundary patterns gain
+	// support.
+	ids := g.SortedVertices()
+	for step := 0; step < 6; step++ {
+		u, v := ids[step*3], ids[step*11+7]
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	res, err := inc.Refresh()
+	if err != nil {
+		t.Fatalf("Refresh (densify): %v", err)
+	}
+	requireSameMining(t, res, freshMine(t, g, cfg), "densify")
+
+	// Batch 2: a brand-new label arrives with enough copies to be frequent,
+	// requiring new seeds and extensions over a wider alphabet.
+	next := graph.VertexID(10_000)
+	for i := 0; i < 8; i++ {
+		g.MustAddVertex(next, 9)
+		g.MustAddEdge(next, ids[i*5])
+		next++
+	}
+	res, err = inc.Refresh()
+	if err != nil {
+		t.Fatalf("Refresh (new label): %v", err)
+	}
+	requireSameMining(t, res, freshMine(t, g, cfg), "new label")
+
+	// Batch 3: nothing pending — Refresh is a cached no-op.
+	before := inc.Result()
+	res, err = inc.Refresh()
+	if err != nil {
+		t.Fatalf("Refresh (no-op): %v", err)
+	}
+	if res != before {
+		t.Fatal("no-op Refresh rebuilt the result instead of returning the cached one")
+	}
+}
+
+// TestIncrementalRejectsUnsupportedConfigs pins the constructor contract.
+func TestIncrementalRejectsUnsupportedConfigs(t *testing.T) {
+	g := gen.BarabasiAlbert(40, 2, gen.UniformLabels{K: 2}, 1)
+	cases := []miner.Config{
+		{MinSupport: 2, Measure: measures.MVC{}},   // not streaming-capable
+		{MinSupport: 2, MaxOccurrences: 100},       // truncated enumeration
+		{MinSupport: 2, MaxPatterns: 5},            // truncated result set
+		{MinSupport: 2, MaterializeContexts: true}, // forces materialized contexts
+		{MinSupport: 0},                            // invalid threshold (via New)
+	}
+	for i, cfg := range cases {
+		if _, err := miner.NewIncremental(g, cfg); err == nil {
+			t.Fatalf("case %d: NewIncremental accepted %+v", i, cfg)
+		}
+	}
+}

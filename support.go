@@ -66,6 +66,20 @@ type (
 	MinerResult = miner.Result
 	// FrequentPattern is one mined frequent pattern with its support.
 	FrequentPattern = miner.FrequentPattern
+	// DeltaContext keeps streamed support aggregates (occurrence/instance
+	// counts, MNI domain tables) alive across graph mutations; build one with
+	// NewDeltaContext and call Refresh after mutating the graph.
+	DeltaContext = core.DeltaContext
+	// DeltaStats counts the maintenance work a DeltaContext has done.
+	DeltaStats = core.DeltaStats
+	// IncrementalMiner is a mining session that stays warm across graph
+	// mutations; start one with MineIncremental.
+	IncrementalMiner = miner.Incremental
+	// Mutation is one structural graph mutation as recorded by a graph's
+	// mutation feed (see Graph.Subscribe).
+	Mutation = graph.Mutation
+	// MutationFeed is a pull-based subscription to a graph's mutations.
+	MutationFeed = graph.MutationFeed
 	// Figure is a built-in worked example from the paper.
 	Figure = dataset.Figure
 )
@@ -209,6 +223,20 @@ func EvaluateWithOptions(g *Graph, p *Pattern, opts ContextOptions, names ...str
 	return measures.Evaluate(ctx, ms...)
 }
 
+// NewDeltaContext builds the streamed aggregates of p in g and keeps them
+// alive across graph mutations: call Refresh on the returned context after
+// AddVertex/AddEdge batches and it applies exact occurrence deltas (restricted
+// to the mutated region) instead of re-enumerating the graph. Evaluate
+// streaming-capable measures (MNI, the raw counts) on DeltaContext.Context().
+// opts.Streaming is implied and opts.MaxOccurrences must be zero.
+func NewDeltaContext(g *Graph, p *Pattern, opts ContextOptions) (*DeltaContext, error) {
+	return core.NewDeltaContext(g, p, core.Options{
+		MaxOccurrences: opts.MaxOccurrences,
+		Parallelism:    opts.Parallelism,
+		Shards:         opts.Shards,
+	})
+}
+
 // VerifyBoundingChain evaluates every measure of the paper's bounding chain
 // for p in g and returns an error if any inequality of
 //
@@ -231,6 +259,16 @@ func Mine(g *Graph, cfg MinerConfig) (*MinerResult, error) {
 		return nil, err
 	}
 	return m.Mine()
+}
+
+// MineIncremental starts an incremental mining session over g: the initial
+// result equals Mine's, and after graph mutations IncrementalMiner.Refresh
+// re-answers the frequent-pattern question from live delta-maintained
+// support state instead of a cold re-mine. Requires a streaming-capable
+// measure (the default MNI is) and zero MaxOccurrences/MaxPatterns; close
+// the session when done.
+func MineIncremental(g *Graph, cfg MinerConfig) (*IncrementalMiner, error) {
+	return miner.NewIncremental(g, cfg)
 }
 
 // MineWithMeasure is a convenience wrapper around Mine that selects the
