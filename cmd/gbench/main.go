@@ -19,6 +19,11 @@
 //	                           # sequential workload (enumeration or mining)
 //	                           # is >30% slower (the CI benchmark gate)
 //	gbench -exp incremental    # incremental refreeze vs full CSR rebuild
+//	gbench -exp store          # in-memory vs mmapped-store enumeration
+//	gbench -store ba.store -residency 25%
+//	                           # benchmark enumeration over a shard store
+//	                           # written by ggen -store, paging under the
+//	                           # given residency budget
 package main
 
 import (
@@ -40,8 +45,17 @@ func main() {
 		compare   = flag.String("compare", "", "compare freshly measured enumeration records against this baseline JSON and exit non-zero on sequential regression")
 		threshold = flag.Float64("threshold", bench.DefaultRegressionThreshold, "allowed fractional sequential slowdown for -compare (0.30 = 30%; 0 selects the default)")
 		shards    = flag.Int("shards", 0, "CSR snapshot shard count for the enumeration experiments (0 = auto)")
+		storeDir  = flag.String("store", "", "benchmark enumeration over this out-of-core shard store directory (written by ggen -store) and exit")
+		residency = flag.String("residency", "", "residency byte budget for -store paging: bytes, binary sizes (64MiB) or a percentage of the store (25%); empty = unlimited")
 	)
 	flag.Parse()
+
+	if *storeDir != "" {
+		if err := bench.RunStoreInput(os.Stdout, *storeDir, *residency, bench.Config{Quick: *quick, Seed: *seed, CSV: *csv}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	reg := bench.NewRegistry()
 	if *list {

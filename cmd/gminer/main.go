@@ -9,6 +9,10 @@
 //	                 # mine once, apply random edge inserts, and re-answer
 //	                 # from live delta-maintained support state (no cold
 //	                 # start), reporting refresh vs full re-mine latency
+//	gminer -store ba.store -minsup 5 -residency 25%
+//	                 # mine an mmapped out-of-core shard store (written by
+//	                 # ggen -store) without materializing the graph in RAM,
+//	                 # paging shards under the given residency budget
 package main
 
 import (
@@ -36,16 +40,10 @@ func main() {
 		incremental = flag.Bool("incremental", false, "keep the mining session warm, apply -inserts random edge inserts, and re-answer via delta maintenance instead of a cold re-mine (streaming-capable measures only)")
 		inserts     = flag.Int("inserts", 8, "number of random edge inserts the -incremental mode applies")
 		insertSeed  = flag.Uint64("insert-seed", 1, "PRNG seed for the -incremental edge inserts")
+		storePath   = flag.String("store", "", "mine an mmapped out-of-core shard store directory (written by ggen -store) instead of parsing -graph")
+		residency   = flag.String("residency", "", "residency byte budget for -store paging: bytes, binary sizes (64MiB) or a percentage of the store (25%); empty = unlimited")
 	)
 	flag.Parse()
-
-	if *graphPath == "" {
-		fatal(fmt.Errorf("-graph is required"))
-	}
-	g, err := support.LoadLGFile(*graphPath)
-	if err != nil {
-		fatal(err)
-	}
 
 	m, err := support.NewMeasure(*measure)
 	if err != nil {
@@ -62,6 +60,22 @@ func main() {
 		MaterializeContexts: *material,
 	}
 
+	if *storePath != "" {
+		if *incremental {
+			fatal(fmt.Errorf("-incremental needs a mutable graph; a -store snapshot is immutable"))
+		}
+		mineStore(*storePath, *residency, cfg, *measure, *minsup, *maxsize, *top)
+		return
+	}
+
+	if *graphPath == "" {
+		fatal(fmt.Errorf("one of -graph or -store is required"))
+	}
+	g, err := support.LoadLGFile(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *incremental {
 		mineIncremental(g, cfg, *measure, *minsup, *maxsize, *top, *inserts, *insertSeed)
 		return
@@ -73,6 +87,25 @@ func main() {
 	}
 	printHeader(g, *measure, *minsup, *maxsize)
 	printResult(res, *top)
+}
+
+// mineStore mines an mmapped shard store: the data graph never exists as
+// heap objects, only as paged segment bytes behind the snapshot read API.
+func mineStore(dir, residency string, cfg support.MinerConfig, measure string, minsup float64, maxsize, top int) {
+	st, err := support.OpenStoreWithBudget(dir, residency)
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+	snap := st.Snapshot()
+	res, err := support.MineSnapshot(snap, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("data graph: store %s (%q, |V|=%d, |E|=%d, %d shards of %d vertices)\nmeasure:    %s   threshold: %g   max pattern size: %d\n\n",
+		dir, snap.Name(), snap.NumVertices(), snap.NumEdges(), snap.NumShards(), snap.ShardSize(), measure, minsup, maxsize)
+	printResult(res, top)
+	fmt.Printf("\nresidency: %s\n", st.Residency())
 }
 
 // mineIncremental runs the warm-session workflow: mine once, mutate the

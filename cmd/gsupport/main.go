@@ -7,6 +7,10 @@
 //	gsupport -graph data.lg -pattern query.lg [-measures MNI,MI,MVC]
 //	gsupport -graph data.lg -edge 1,2              # single-edge pattern
 //	gsupport -figure figure2                       # built-in paper figure
+//	gsupport -store ba.store -edge 1,2 -residency 64MiB
+//	                 # mmap an out-of-core shard store (written by
+//	                 # ggen -store) instead of parsing a .lg file, paging
+//	                 # shards under the given residency budget
 //
 // With no -measures flag every measure is computed and the bounding chain of
 // the paper is verified.
@@ -34,6 +38,8 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "enumeration worker count (0 = GOMAXPROCS, 1 = sequential)")
 		shards      = flag.Int("shards", 0, "CSR snapshot shard count (0 = auto: one shard up to 65536 vertices)")
 		streaming   = flag.Bool("streaming", false, "stream occurrences instead of materializing them (restricts -measures to MNI and the raw counts)")
+		storePath   = flag.String("store", "", "mmap an out-of-core shard store directory (written by ggen -store) as the data graph instead of -graph")
+		residency   = flag.String("residency", "", "residency byte budget for -store paging: bytes, binary sizes (64MiB) or a percentage of the store (25%); empty = unlimited")
 	)
 	flag.Parse()
 
@@ -44,11 +50,6 @@ func main() {
 		return
 	}
 
-	g, p, err := loadInputs(*figureName, *graphPath, *patternPath, *edgeLabels)
-	if err != nil {
-		fatal(err)
-	}
-
 	var names []string
 	if *measureList != "" {
 		names = strings.Split(*measureList, ",")
@@ -57,6 +58,34 @@ func main() {
 		}
 	}
 	opts := support.ContextOptions{Parallelism: *parallel, Shards: *shards, Streaming: *streaming}
+
+	if *storePath != "" {
+		p, err := loadPattern(*patternPath, *edgeLabels)
+		if err != nil {
+			fatal(err)
+		}
+		st, err := support.OpenStoreWithBudget(*storePath, *residency)
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		snap := st.Snapshot()
+		ev, err := support.EvaluateSnapshot(snap, p, opts, names...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("data graph: store %s (%q, |V|=%d, |E|=%d, %d shards of %d vertices)\npattern:    %s\n\n",
+			*storePath, snap.Name(), snap.NumVertices(), snap.NumEdges(), snap.NumShards(), snap.ShardSize(), p)
+		fmt.Print(support.FormatEvaluation(ev))
+		fmt.Printf("\nresidency: %s\n", st.Residency())
+		verifyChain(ev, *verify && len(names) == 0 && !*streaming)
+		return
+	}
+
+	g, p, err := loadInputs(*figureName, *graphPath, *patternPath, *edgeLabels)
+	if err != nil {
+		fatal(err)
+	}
 	ev, err := support.EvaluateWithOptions(g, p, opts, names...)
 	if err != nil {
 		fatal(err)
@@ -64,12 +93,19 @@ func main() {
 	fmt.Printf("data graph: %s\npattern:    %s\n\n", g, p)
 	fmt.Print(support.FormatEvaluation(ev))
 
-	if *verify && len(names) == 0 && !*streaming {
-		if err := ev.VerifyBoundingChain(); err != nil {
-			fatal(fmt.Errorf("bounding chain violated: %w", err))
-		}
-		fmt.Println("\nbounding chain MIS = MIES <= nuMIES = nuMVC <= MVC <= MI <= MNI: OK")
+	verifyChain(ev, *verify && len(names) == 0 && !*streaming)
+}
+
+// verifyChain checks the paper's bounding chain on a full evaluation when
+// asked to.
+func verifyChain(ev *support.Evaluation, enabled bool) {
+	if !enabled {
+		return
 	}
+	if err := ev.VerifyBoundingChain(); err != nil {
+		fatal(fmt.Errorf("bounding chain violated: %w", err))
+	}
+	fmt.Println("\nbounding chain MIS = MIES <= nuMIES = nuMVC <= MVC <= MI <= MNI: OK")
 }
 
 // loadInputs resolves the data graph and pattern from the flag combination.
@@ -89,33 +125,38 @@ func loadInputs(figure, graphPath, patternPath, edgeLabels string) (*support.Gra
 	if err != nil {
 		return nil, nil, err
 	}
+	p, err := loadPattern(patternPath, edgeLabels)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, p, nil
+}
+
+// loadPattern resolves the query pattern from -pattern or -edge.
+func loadPattern(patternPath, edgeLabels string) (*support.Pattern, error) {
 	switch {
 	case patternPath != "":
 		pg, err := support.LoadLGFile(patternPath)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		p, err := support.NewPattern(pg)
-		if err != nil {
-			return nil, nil, err
-		}
-		return g, p, nil
+		return support.NewPattern(pg)
 	case edgeLabels != "":
 		parts := strings.Split(edgeLabels, ",")
 		if len(parts) != 2 {
-			return nil, nil, fmt.Errorf("-edge expects two comma-separated labels, got %q", edgeLabels)
+			return nil, fmt.Errorf("-edge expects two comma-separated labels, got %q", edgeLabels)
 		}
 		a, err := strconv.Atoi(strings.TrimSpace(parts[0]))
 		if err != nil {
-			return nil, nil, fmt.Errorf("bad label %q: %w", parts[0], err)
+			return nil, fmt.Errorf("bad label %q: %w", parts[0], err)
 		}
 		b, err := strconv.Atoi(strings.TrimSpace(parts[1]))
 		if err != nil {
-			return nil, nil, fmt.Errorf("bad label %q: %w", parts[1], err)
+			return nil, fmt.Errorf("bad label %q: %w", parts[1], err)
 		}
-		return g, support.SingleEdgePattern(support.Label(a), support.Label(b)), nil
+		return support.SingleEdgePattern(support.Label(a), support.Label(b)), nil
 	default:
-		return nil, nil, fmt.Errorf("one of -pattern or -edge is required with -graph")
+		return nil, fmt.Errorf("one of -pattern or -edge is required")
 	}
 }
 

@@ -93,6 +93,7 @@ func allExperiments() []Experiment {
 		shardingExperiment(),
 		incrementalExperiment(),
 		deltaMNIExperiment(),
+		storeExperiment(),
 		scalingExperiment(),
 		approxExperiment(),
 		lpExperiment(),

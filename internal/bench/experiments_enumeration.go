@@ -189,9 +189,10 @@ func MiningRecord(cfg Config) (EnumerationRecord, error) {
 }
 
 // NewEnumerationReport measures the enumeration records plus the end-to-end
-// mining record (mine-mni) and the delta-maintenance pair (delta-mni /
-// delta-mni-full) for the given configuration and wraps them in the
-// BENCH_enumeration.json document structure.
+// mining record (mine-mni), the delta-maintenance pair (delta-mni /
+// delta-mni-full) and the out-of-core store records (star4-store) for the
+// given configuration and wraps them in the BENCH_enumeration.json document
+// structure.
 func NewEnumerationReport(cfg Config) (*EnumerationReport, error) {
 	records := EnumerationRecords(cfg)
 	mining, err := MiningRecord(cfg)
@@ -204,6 +205,11 @@ func NewEnumerationReport(cfg Config) (*EnumerationReport, error) {
 		return nil, fmt.Errorf("bench: delta-mni records: %w", err)
 	}
 	records = append(records, delta...)
+	storeRecs, err := StoreEnumerationRecords(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: store records: %w", err)
+	}
+	records = append(records, storeRecs...)
 	return &EnumerationReport{
 		Experiment: "enumeration",
 		GoMaxProcs: runtime.GOMAXPROCS(0),

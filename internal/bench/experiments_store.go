@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/pattern"
+	"repro/internal/store"
+)
+
+// enumerateSnapshot materializes the canonically sorted occurrence list of p
+// over an explicit snapshot — the snapshot-pinned equivalent of
+// isomorph.Enumerate, used so store-backed timings measure exactly the same
+// work as the in-memory enumeration records.
+func enumerateSnapshot(snap *graph.Snapshot, p *pattern.Pattern, opts isomorph.Options) []*isomorph.Occurrence {
+	type bucket struct{ occs []*isomorph.Occurrence }
+	var buckets []*bucket
+	isomorph.EnumerateSnapshotWorkers(snap, p, opts, func(int) func(*isomorph.Occurrence) bool {
+		b := &bucket{}
+		buckets = append(buckets, b)
+		return func(o *isomorph.Occurrence) bool {
+			b.occs = append(b.occs, o)
+			return true
+		}
+	})
+	slices := make([][]*isomorph.Occurrence, len(buckets))
+	for i, b := range buckets {
+		slices[i] = b.occs
+	}
+	return isomorph.MergeSortedOccurrences(slices)
+}
+
+// timeSnapshotEnumeration times enumerateSnapshot with the best-of-batches
+// estimator shared by every gated record.
+func timeSnapshotEnumeration(snap *graph.Snapshot, p *pattern.Pattern, opts isomorph.Options, iters int) (int64, int) {
+	occs := enumerateSnapshot(snap, p, opts) // warm-up
+	best := timeBest(iters, func() {
+		occs = enumerateSnapshot(snap, p, opts)
+	})
+	return best, len(occs)
+}
+
+// withTempStore writes the snapshot to a temporary shard store, opens it
+// with the given options, hands it to fn, and cleans up.
+func withTempStore(snap *graph.Snapshot, opts store.Options, fn func(*store.Store) error) error {
+	dir, err := os.MkdirTemp("", "repro-store-bench-")
+	if err != nil {
+		return fmt.Errorf("bench: temp store dir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	if err := store.Write(snap, dir); err != nil {
+		return err
+	}
+	st, err := store.Open(dir, opts)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	return fn(st)
+}
+
+// StoreEnumerationRecords times sequential enumeration of the 4-node star
+// pattern over mmap-backed store snapshots of the standard workloads and
+// returns one gated record per workload (pattern "star4-store", mode
+// "sequential"). Appended to BENCH_enumeration.json next to the in-memory
+// baseline records, it extends the CI benchmark gate over the whole
+// out-of-core read path: segment decode, mmapped CSR access and the
+// residency hooks on the drain loops.
+func StoreEnumerationRecords(cfg Config) ([]EnumerationRecord, error) {
+	iters := quickInt(cfg, 2, 5)
+	var out []EnumerationRecord
+	for _, wl := range enumerationWorkloads(cfg) {
+		snap := wl.g.FreezeSharded(graph.FreezeOptions{Shards: cfg.Shards})
+		var rec EnumerationRecord
+		err := withTempStore(snap, store.Options{}, func(st *store.Store) error {
+			ns, occs := timeSnapshotEnumeration(st.Snapshot(), wl.p, isomorph.Options{Parallelism: 1}, iters)
+			rec = EnumerationRecord{
+				Workload:    wl.name,
+				Vertices:    wl.g.NumVertices(),
+				Edges:       wl.g.NumEdges(),
+				Pattern:     "star4-store",
+				Mode:        "sequential",
+				Parallelism: 1,
+				Shards:      cfg.Shards,
+				Occurrences: occs,
+				NsPerOp:     ns,
+				Iterations:  iters,
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// RunStoreInput benchmarks enumeration over a user-provided shard store
+// directory (the gbench -store flag): it opens the store under the given
+// residency budget (ParseBudget syntax, empty = unlimited), times sequential
+// and parallel enumeration of the standard 4-node star pattern over the
+// mmapped snapshot, and reports the paging activity. Intended for stores
+// written by ggen -store, whose label alphabet the standard pattern targets;
+// a store with foreign labels still runs, just with zero occurrences.
+func RunStoreInput(w io.Writer, dir, residency string, cfg Config) error {
+	st, err := store.OpenWithBudget(dir, residency)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	snap := st.Snapshot()
+	fmt.Fprintf(w, "store %s: %q, |V|=%d, |E|=%d, %d shards of %d vertices, %d mapped bytes\n\n",
+		dir, snap.Name(), snap.NumVertices(), snap.NumEdges(), snap.NumShards(), snap.ShardSize(), st.Residency().MappedBytes)
+
+	iters := quickInt(cfg, 2, 5)
+	p := standardPatterns()["star"]
+	t := NewTable(fmt.Sprintf("mmapped store enumeration, 4-node star pattern (GOMAXPROCS=%d)", runtime.GOMAXPROCS(0)),
+		"mode", "occurrences", "ns/op")
+	seqNs, seqOccs := timeSnapshotEnumeration(snap, p, isomorph.Options{Parallelism: 1}, iters)
+	t.AddRow("sequential", seqOccs, fmtDuration(float64(seqNs)))
+	parNs, parOccs := timeSnapshotEnumeration(snap, p, isomorph.Options{Parallelism: 0}, iters)
+	t.AddRow("parallel", parOccs, fmtDuration(float64(parNs)))
+	if seqOccs != parOccs {
+		return fmt.Errorf("bench: store enumeration diverged: %d sequential vs %d parallel occurrences", seqOccs, parOccs)
+	}
+	if err := render(w, cfg, t); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nresidency: %s\n", st.Residency())
+	return nil
+}
+
+// storeExperiment compares enumeration over the in-memory snapshot, the
+// mmap-backed store snapshot, and the store under a paging-forced 25%
+// residency budget, verifying the occurrence set never changes.
+func storeExperiment() Experiment {
+	return Experiment{
+		ID:    "store",
+		Claim: "out-of-core shard store: mmap-backed snapshots enumerate the exact in-memory occurrence set, with paging under a residency budget instead of heap growth",
+		Run: func(w io.Writer, cfg Config) error {
+			iters := quickInt(cfg, 2, 5)
+			const shards = 8
+			t := NewTable(fmt.Sprintf("in-memory vs mmapped store enumeration, 4-node star pattern, %d shards (GOMAXPROCS=%d)", shards, runtime.GOMAXPROCS(0)),
+				"workload", "backend", "occurrences", "sequential ns/op", "evictions")
+			for _, wl := range enumerationWorkloads(cfg) {
+				snap := wl.g.FreezeSharded(graph.FreezeOptions{Shards: shards})
+				memNs, memOccs := timeSnapshotEnumeration(snap, wl.p, isomorph.Options{Parallelism: 1}, iters)
+				t.AddRow(wl.name, "memory", memOccs, fmtDuration(float64(memNs)), 0)
+				for _, backend := range []struct {
+					name string
+					opts store.Options
+				}{
+					{"store-mmap", store.Options{}},
+					{"store-25%", store.Options{ResidencyFraction: 0.25}},
+				} {
+					err := withTempStore(snap, backend.opts, func(st *store.Store) error {
+						ns, occs := timeSnapshotEnumeration(st.Snapshot(), wl.p, isomorph.Options{Parallelism: 1}, iters)
+						if occs != memOccs {
+							return fmt.Errorf("bench: %s over %s enumerated %d occurrences, in-memory %d",
+								wl.name, backend.name, occs, memOccs)
+						}
+						t.AddRow(wl.name, backend.name, occs, fmtDuration(float64(ns)), st.Residency().Evictions)
+						return nil
+					})
+					if err != nil {
+						return err
+					}
+				}
+			}
+			return render(w, cfg, t)
+		},
+	}
+}

@@ -78,6 +78,14 @@ type Options struct {
 	// materialized state (MI, MVC, MIS/MIES, the LP relaxations, MCP) return
 	// an error on a streaming context.
 	Streaming bool
+	// Snapshot pins enumeration to an explicit frozen snapshot instead of
+	// freezing the graph. This is how contexts are built over snapshots that
+	// have no mutable Graph behind them — above all the mmap-backed
+	// snapshots of the out-of-core shard store (internal/store) — and the
+	// graph argument of NewContext may then be nil (Context.Graph returns
+	// nil in that case). Shards is ignored: the snapshot's own shard
+	// geometry applies.
+	Snapshot *graph.Snapshot
 }
 
 // workerAcc is the per-worker streaming accumulator occurrences are folded
@@ -165,7 +173,7 @@ func (k *instanceKeyer) key(o *isomorph.Occurrence) []byte {
 // NewContext enumerates occurrences and instances of p in g and builds the
 // configured amount of derived state (see Options).
 func NewContext(g *graph.Graph, p *pattern.Pattern, opts Options) (*Context, error) {
-	if g == nil || p == nil {
+	if (g == nil && opts.Snapshot == nil) || p == nil {
 		return nil, fmt.Errorf("core: nil graph or pattern")
 	}
 	nodes := p.Nodes()
@@ -176,9 +184,13 @@ func NewContext(g *graph.Graph, p *pattern.Pattern, opts Options) (*Context, err
 		transitive: make(map[isomorph.SubgraphPolicy][][]pattern.NodeID),
 	}
 
+	snap := opts.Snapshot
+	if snap == nil {
+		snap = g.FreezeSharded(graph.FreezeOptions{Shards: opts.Shards})
+	}
 	var accs []*workerAcc
-	isomorph.EnumerateWorkers(g, p,
-		isomorph.Options{MaxOccurrences: opts.MaxOccurrences, Parallelism: opts.Parallelism, Shards: opts.Shards},
+	isomorph.EnumerateSnapshotWorkers(snap, p,
+		isomorph.Options{MaxOccurrences: opts.MaxOccurrences, Parallelism: opts.Parallelism},
 		func(int) func(*isomorph.Occurrence) bool {
 			a := &workerAcc{}
 			accs = append(accs, a)
@@ -271,7 +283,8 @@ func MustNewContext(g *graph.Graph, p *pattern.Pattern, opts Options) *Context {
 	return ctx
 }
 
-// Graph returns the data graph.
+// Graph returns the data graph, or nil when the context was pinned to an
+// explicit snapshot (Options.Snapshot) that has no mutable graph behind it.
 func (c *Context) Graph() *graph.Graph { return c.g }
 
 // Pattern returns the query pattern.

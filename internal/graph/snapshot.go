@@ -53,6 +53,10 @@ type Snapshot struct {
 	// seed a fresh Snapshot with a mostly reused index.
 	labelMu sync.Mutex
 	byLabel atomic.Pointer[map[Label][]int32]
+
+	// backing receives residency hints for shards whose arrays live outside
+	// the Go heap (see NewExternalSnapshot); nil for heap snapshots.
+	backing ShardBacking
 }
 
 // shard is one contiguous dense-index range of a Snapshot with its own CSR
@@ -395,6 +399,7 @@ func (s *Snapshot) withName(name string) *Snapshot {
 		numEdges:   s.numEdges,
 		shardShift: s.shardShift,
 		shards:     s.shards,
+		backing:    s.backing,
 	}
 	if bl := s.byLabel.Load(); bl != nil {
 		c.byLabel.Store(bl)

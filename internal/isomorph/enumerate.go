@@ -99,7 +99,14 @@ type searchPlan struct {
 	// own whole shards before stealing across them; concatenated in order it
 	// is exactly the sorted global candidate list the sequential path walks.
 	rootsByShard [][]int32
-	numRoots     int
+	// shardIDs maps each rootsByShard entry back to its snapshot shard
+	// number (empty shards are dropped from the schedule, so positions and
+	// shard numbers diverge). The drain loops use it to announce shard
+	// ownership to the snapshot's backing (Snapshot.AcquireShard), which is
+	// how the out-of-core store learns which shards to page in ahead of a
+	// drain and which to evict last.
+	shardIDs []int
+	numRoots int
 }
 
 // newSearchPlan compiles the matching order of p against the given frozen
@@ -151,6 +158,7 @@ func newSearchPlan(snap *graph.Snapshot, p *pattern.Pattern, opts Options) *sear
 		}
 		if len(roots) > 0 {
 			pl.rootsByShard = append(pl.rootsByShard, roots)
+			pl.shardIDs = append(pl.shardIDs, s)
 			pl.numRoots += len(roots)
 		}
 	}
@@ -328,12 +336,15 @@ func EnumerateSnapshotWorkers(snap *graph.Snapshot, p *pattern.Pattern, opts Opt
 			yield = capYield(yield, opts.MaxOccurrences)
 		}
 		st := newSearchState(pl, yield, nil)
-		for _, roots := range pl.rootsByShard {
+		for s, roots := range pl.rootsByShard {
+			snap.AcquireShard(pl.shardIDs[s])
 			for _, r := range roots {
 				if st.searchRoot(r) {
+					snap.ReleaseShard(pl.shardIDs[s])
 					return
 				}
 			}
+			snap.ReleaseShard(pl.shardIDs[s])
 		}
 		return
 	}
@@ -365,18 +376,28 @@ func EnumerateSnapshotWorkers(snap *graph.Snapshot, p *pattern.Pattern, opts Opt
 			for k := 0; k < numShards; k++ {
 				s := (start + k) % numShards
 				roots := pl.rootsByShard[s]
-				for {
-					i := atomic.AddInt64(&cursors[s], 1) - 1
-					if i >= int64(len(roots)) {
-						break
+				if atomic.LoadInt64(&cursors[s]) >= int64(len(roots)) {
+					continue // already drained; skip the residency churn
+				}
+				halt := func() bool {
+					snap.AcquireShard(pl.shardIDs[s])
+					defer snap.ReleaseShard(pl.shardIDs[s])
+					for {
+						i := atomic.AddInt64(&cursors[s], 1) - 1
+						if i >= int64(len(roots)) {
+							return false
+						}
+						if stop.Load() {
+							return true
+						}
+						if st.searchRoot(roots[i]) {
+							stop.Store(true)
+							return true
+						}
 					}
-					if stop.Load() {
-						return
-					}
-					if st.searchRoot(roots[i]) {
-						stop.Store(true)
-						return
-					}
+				}()
+				if halt {
+					return
 				}
 			}
 		}()

@@ -3,6 +3,7 @@ package miner
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -156,9 +157,13 @@ func (inc *Incremental) Refresh() (*Result, error) {
 	}
 
 	// Delta-refresh every tracked candidate and collect the boundary
-	// patterns that crossed the threshold. inFrontier guards against
-	// queueing a pattern twice (a threshold crossing and an alphabet
-	// widening in one batch would otherwise both enqueue it).
+	// patterns that crossed the threshold. The per-candidate refreshes are
+	// independent (the refrozen snapshot is shared through the graph's
+	// snapshot cache), so they fan out across cfg.Parallelism workers;
+	// crossings are collected afterwards in the deterministic sorted order,
+	// so the frontier is identical to a sequential refresh. inFrontier
+	// guards against queueing a pattern twice (a threshold crossing and an
+	// alphabet widening in one batch would otherwise both enqueue it).
 	var frontier []*trackedPattern
 	inFrontier := make(map[string]bool)
 	enqueue := func(tp *trackedPattern) {
@@ -167,15 +172,16 @@ func (inc *Incremental) Refresh() (*Result, error) {
 			frontier = append(frontier, tp)
 		}
 	}
-	for _, tp := range inc.sortedTracked() {
-		if err := tp.delta.Refresh(); err != nil {
-			return nil, fmt.Errorf("miner: refreshing %s: %w", tp.p, err)
-		}
-		wasFrequent := tp.frequent
-		if err := inc.evaluateTracked(tp); err != nil {
-			return nil, err
-		}
-		if tp.frequent && !wasFrequent {
+	tracked := inc.sortedTracked()
+	wasFrequent := make([]bool, len(tracked))
+	for i, tp := range tracked {
+		wasFrequent[i] = tp.frequent
+	}
+	if err := inc.refreshTracked(tracked); err != nil {
+		return nil, err
+	}
+	for i, tp := range tracked {
+		if tp.frequent && !wasFrequent[i] {
 			enqueue(tp)
 		}
 	}
@@ -212,6 +218,73 @@ func (inc *Incremental) Refresh() (*Result, error) {
 	}
 	inc.assemble(time.Since(start))
 	return inc.result, nil
+}
+
+// refreshTracked delta-refreshes and re-evaluates every tracked candidate.
+// With cfg.Parallelism >= 2 the independent refreshes run on a worker pool
+// (the ROADMAP's "parallel tracked refresh" item): each worker drains
+// candidate indexes from a channel, mutating only its candidate's own state,
+// and the first error wins. The tracked states after a parallel refresh are
+// identical to a sequential one — delta maintenance is per-candidate exact
+// and the candidates share nothing but the immutable refrozen snapshot.
+func (inc *Incremental) refreshTracked(tracked []*trackedPattern) error {
+	refresh := func(tp *trackedPattern) error {
+		if err := tp.delta.Refresh(); err != nil {
+			return fmt.Errorf("miner: refreshing %s: %w", tp.p, err)
+		}
+		return inc.evaluateTracked(tp)
+	}
+	workers := inc.cfg.Parallelism
+	if workers > len(tracked) {
+		workers = len(tracked)
+	}
+	if workers < 2 {
+		for _, tp := range tracked {
+			if err := refresh(tp); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	indexes := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	record := func(err error) {
+		errMu.Lock()
+		defer errMu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				if failed() {
+					continue // drain remaining work after a failure
+				}
+				if err := refresh(tracked[i]); err != nil {
+					record(err)
+				}
+			}
+		}()
+	}
+	for i := range tracked {
+		indexes <- i
+	}
+	close(indexes)
+	wg.Wait()
+	return firstErr
 }
 
 // seedNew tracks the one-edge seed pattern of every not-yet-seen label pair
@@ -295,6 +368,12 @@ func (inc *Incremental) expand(frontier []*trackedPattern) error {
 // track builds the live delta context of a new candidate, evaluates it, and
 // adds it to the tracked set.
 func (inc *Incremental) track(p *pattern.Pattern, code string) (*trackedPattern, error) {
+	// The context's enumeration parallelism is deliberately not throttled
+	// under candidate-level Parallelism (unlike Miner.evaluate): track runs
+	// only on the session goroutine — cold builds are the expensive
+	// enumerations and deserve the full machine — while the refresh passes
+	// that do run concurrently are root-restricted to the mutation ball,
+	// whose few roots make the auto mode fall back to sequential anyway.
 	d, err := core.NewDeltaContext(inc.g, p, core.Options{
 		Parallelism: inc.cfg.EnumParallelism,
 		Shards:      inc.cfg.EnumShards,

@@ -102,6 +102,56 @@ func TestIncrementalMatchesFreshMine(t *testing.T) {
 	}
 }
 
+// TestIncrementalParallelRefreshMatchesSequential drives two sessions over
+// the same mutation batches — one refreshing its tracked candidates
+// sequentially, one fanning the refreshes across four workers — and checks
+// both stay identical to a fresh mine of the mutated graph. Run under -race
+// in CI, this also pins that the parallel refresh shares nothing but the
+// immutable snapshot.
+func TestIncrementalParallelRefreshMatchesSequential(t *testing.T) {
+	seqCfg := miner.Config{MinSupport: 4, MaxPatternSize: 4, EnumParallelism: 1}
+	parCfg := miner.Config{MinSupport: 4, MaxPatternSize: 4, Parallelism: 4}
+
+	gSeq := gen.BarabasiAlbert(90, 2, gen.UniformLabels{K: 3}, 7)
+	gPar := gSeq.Clone()
+
+	seq, err := miner.NewIncremental(gSeq, seqCfg)
+	if err != nil {
+		t.Fatalf("NewIncremental (sequential): %v", err)
+	}
+	defer seq.Close()
+	par, err := miner.NewIncremental(gPar, parCfg)
+	if err != nil {
+		t.Fatalf("NewIncremental (parallel): %v", err)
+	}
+	defer par.Close()
+	requireSameMining(t, par.Result(), seq.Result(), "initial")
+
+	for batch := 0; batch < 3; batch++ {
+		ids := gSeq.SortedVertices()
+		for step := 0; step < 5; step++ {
+			u, v := ids[(batch*17+step*3)%len(ids)], ids[(step*11+7)%len(ids)]
+			if u != v && !gSeq.HasEdge(u, v) {
+				gSeq.MustAddEdge(u, v)
+				gPar.MustAddEdge(u, v)
+			}
+		}
+		want, err := seq.Refresh()
+		if err != nil {
+			t.Fatalf("batch %d: sequential Refresh: %v", batch, err)
+		}
+		got, err := par.Refresh()
+		if err != nil {
+			t.Fatalf("batch %d: parallel Refresh: %v", batch, err)
+		}
+		requireSameMining(t, got, want, "parallel refresh batch")
+		requireSameMining(t, got, freshMine(t, gPar, seqCfg), "parallel vs fresh")
+		if seq.TrackedPatterns() != par.TrackedPatterns() {
+			t.Fatalf("batch %d: tracked sets diverged: %d vs %d", batch, seq.TrackedPatterns(), par.TrackedPatterns())
+		}
+	}
+}
+
 // TestIncrementalRejectsUnsupportedConfigs pins the constructor contract.
 func TestIncrementalRejectsUnsupportedConfigs(t *testing.T) {
 	g := gen.BarabasiAlbert(40, 2, gen.UniformLabels{K: 2}, 1)

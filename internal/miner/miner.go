@@ -38,11 +38,12 @@ type Config struct {
 	// bounded work on extremely frequent patterns.
 	MaxOccurrences int
 	// Parallelism is the number of worker goroutines used to evaluate the
-	// candidates of each search level concurrently. Values below 2 run
-	// sequentially. Support evaluation of different candidates is
-	// independent, so this is the "additiveness" extension sketched in the
-	// paper's future work (Chapter 6); results are identical to a sequential
-	// run regardless of the setting.
+	// candidates of each search level concurrently — and, in an Incremental
+	// session, to fan the independent tracked-candidate delta refreshes out
+	// on Refresh. Values below 2 run sequentially. Support evaluation of
+	// different candidates is independent, so this is the "additiveness"
+	// extension sketched in the paper's future work (Chapter 6); results
+	// are identical to a sequential run regardless of the setting.
 	Parallelism int
 	// EnumParallelism is the worker count of the per-candidate occurrence
 	// enumeration engine (core.Options.Parallelism): 0 picks GOMAXPROCS
@@ -113,10 +114,13 @@ type Result struct {
 	Stats    Stats
 }
 
-// Miner mines frequent patterns from a single data graph.
+// Miner mines frequent patterns from a single data graph, given either as a
+// mutable Graph (New) or as a frozen snapshot with no graph behind it
+// (NewSnapshot — the out-of-core mining path).
 type Miner struct {
-	g   *graph.Graph
-	cfg Config
+	g    *graph.Graph
+	snap *graph.Snapshot
+	cfg  Config
 }
 
 // New returns a miner over the given data graph.
@@ -124,6 +128,27 @@ func New(g *graph.Graph, cfg Config) (*Miner, error) {
 	if g == nil {
 		return nil, fmt.Errorf("miner: nil data graph")
 	}
+	return newMiner(g, nil, cfg)
+}
+
+// NewSnapshot returns a miner that runs entirely on an explicit frozen
+// snapshot — no mutable Graph is required or consulted. This is the mining
+// entry point for store-opened, mmap-backed snapshots (internal/store):
+// seed label pairs and the extension alphabet are derived from the
+// snapshot's CSR arrays, and every per-candidate enumeration is pinned to
+// the snapshot, so results are identical to mining the graph the snapshot
+// was frozen from. Config.EnumShards is ignored — the snapshot's own shard
+// geometry applies.
+func NewSnapshot(snap *graph.Snapshot, cfg Config) (*Miner, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("miner: nil snapshot")
+	}
+	return newMiner(nil, snap, cfg)
+}
+
+// newMiner validates and defaults the configuration shared by both
+// constructors.
+func newMiner(g *graph.Graph, snap *graph.Snapshot, cfg Config) (*Miner, error) {
 	if cfg.MinSupport <= 0 {
 		return nil, fmt.Errorf("miner: MinSupport must be positive, got %v", cfg.MinSupport)
 	}
@@ -146,7 +171,7 @@ func New(g *graph.Graph, cfg Config) (*Miner, error) {
 	if !cfg.Streaming && !cfg.MaterializeContexts && measures.SupportsStreaming(cfg.Measure) {
 		cfg.Streaming = true
 	}
-	return &Miner{g: g, cfg: cfg}, nil
+	return &Miner{g: g, snap: snap, cfg: cfg}, nil
 }
 
 // Config returns the effective configuration of the miner after defaulting:
@@ -182,7 +207,7 @@ func (m *Miner) Mine() (*Result, error) {
 	}
 	sort.Slice(frontier, func(i, j int) bool { return frontier[i].code < frontier[j].code })
 
-	labels := m.g.Labels()
+	labels := m.labels()
 
 	for len(frontier) > 0 {
 		var next []queued
@@ -318,6 +343,7 @@ func (m *Miner) evaluate(p *pattern.Pattern) (FrequentPattern, bool, error) {
 		Parallelism:    enumPar,
 		Shards:         m.cfg.EnumShards,
 		Streaming:      m.cfg.Streaming,
+		Snapshot:       m.snap,
 	})
 	if err != nil {
 		return FrequentPattern{}, false, fmt.Errorf("miner: building context for %s: %w", p, err)
@@ -336,18 +362,46 @@ func (m *Miner) evaluate(p *pattern.Pattern) (FrequentPattern, bool, error) {
 	return fp, r.Value >= m.cfg.MinSupport, nil
 }
 
+// labels returns the extension alphabet: the graph's distinct labels, or
+// the snapshot's when mining snapshot-backed.
+func (m *Miner) labels() []graph.Label {
+	if m.snap != nil {
+		return m.snap.Labels()
+	}
+	return m.g.Labels()
+}
+
 // seedPatterns returns the one-edge patterns for every ordered label pair
-// that appears on at least one data edge.
+// that appears on at least one data edge. On the snapshot-backed path the
+// pairs are collected from one pass over the CSR adjacency (visiting each
+// undirected edge once, from its smaller endpoint) instead of the graph's
+// edge map.
 func (m *Miner) seedPatterns() []*pattern.Pattern {
 	type labelPair struct{ a, b graph.Label }
 	pairs := make(map[labelPair]bool)
-	for _, e := range m.g.Edges() {
-		la := m.g.MustLabelOf(e.U)
-		lb := m.g.MustLabelOf(e.V)
-		if la > lb {
-			la, lb = lb, la
+	if m.snap != nil {
+		for i := int32(0); i < int32(m.snap.NumVertices()); i++ {
+			la := m.snap.LabelAt(i)
+			for _, j := range m.snap.NeighborsAt(i) {
+				if j <= i {
+					continue
+				}
+				a, b := la, m.snap.LabelAt(j)
+				if a > b {
+					a, b = b, a
+				}
+				pairs[labelPair{a: a, b: b}] = true
+			}
 		}
-		pairs[labelPair{a: la, b: lb}] = true
+	} else {
+		for _, e := range m.g.Edges() {
+			la := m.g.MustLabelOf(e.U)
+			lb := m.g.MustLabelOf(e.V)
+			if la > lb {
+				la, lb = lb, la
+			}
+			pairs[labelPair{a: la, b: lb}] = true
+		}
 	}
 	keys := make([]labelPair, 0, len(pairs))
 	for p := range pairs {

@@ -1,0 +1,192 @@
+// Package store persists frozen graph snapshots as an out-of-core shard
+// store: a directory holding one flat, pointer-free binary segment per CSR
+// shard plus a JSON manifest, written by Write and served back by Open as an
+// mmap-backed graph.Snapshot whose shard arrays alias the mapped bytes
+// directly — no deserialization copy. A residency manager pages shard
+// segments in as the enumeration engine's shard-first scheduler announces
+// ownership and evicts cold segments (madvise) under a configurable byte
+// budget, so graphs larger than RAM can be enumerated and mined with the
+// exact same results as their in-memory snapshots.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"unsafe"
+)
+
+// FormatName identifies the store directory format in the manifest; Open
+// rejects manifests carrying any other format string.
+const FormatName = "repro-graph-store"
+
+// FormatVersion is the store format version this package reads and writes.
+// Open rejects any other version, loudly, rather than guessing at a layout.
+const FormatVersion = 1
+
+// ManifestFile is the name of the JSON manifest inside a store directory.
+const ManifestFile = "manifest.json"
+
+// segMagic opens every shard segment file: the bytes "GSEG" read as a
+// little-endian uint32.
+const segMagic uint32 = 0x47455347
+
+// headerSize is the fixed byte size of a segment header; the section layout
+// of segLayout starts immediately after it.
+const headerSize = 64
+
+// Manifest is the top-level description of a store directory, persisted as
+// ManifestFile. It carries everything Open needs to validate and map the
+// segments without touching their contents: totals, the shard geometry, and
+// one Segment descriptor (with checksum) per shard file.
+type Manifest struct {
+	// Format is always FormatName.
+	Format string `json:"format"`
+	// Version is the format version the store was written with.
+	Version int `json:"version"`
+	// Name is the diagnostic name of the stored snapshot.
+	Name string `json:"name"`
+	// Vertices and Edges are the snapshot totals (|V|, undirected |E|).
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+	// ShardShift is the log2 of the shard granularity: shard k covers global
+	// dense indexes [k<<ShardShift, k<<ShardShift + Segments[k].Vertices).
+	ShardShift uint `json:"shard_shift"`
+	// Shards is the shard count; it always equals len(Segments).
+	Shards int `json:"shards"`
+	// Segments describes the per-shard segment files in shard order.
+	Segments []Segment `json:"segments"`
+}
+
+// Segment describes one shard's binary segment file in the manifest.
+type Segment struct {
+	// File is the segment's file name inside the store directory.
+	File string `json:"file"`
+	// Vertices is the shard's vertex count (the n of its arrays).
+	Vertices int `json:"vertices"`
+	// Neighbors is the length of the shard's CSR column array (twice the
+	// shard's incident edge count, since both directions are stored).
+	Neighbors int `json:"neighbors"`
+	// Labels is the number of distinct vertex labels in the shard.
+	Labels int `json:"labels"`
+	// Bytes is the exact segment file size; Open fails on any mismatch
+	// (a truncated or padded segment).
+	Bytes int64 `json:"bytes"`
+	// CRC32C is the Castagnoli CRC of the whole segment file.
+	CRC32C uint32 `json:"crc32c"`
+}
+
+// segLayout holds the byte offsets of one segment's sections. Every section
+// starts 8-byte aligned so the mapped bytes can be reinterpreted as typed
+// slices in place. The layout is fully determined by the three counts in the
+// Segment descriptor, which is what makes truncation detectable from the
+// manifest alone:
+//
+//	header    64 bytes: magic, version, shard index, counts, lo
+//	ids       n × int64   vertex IDs, sorted ascending
+//	labels    n × int64   vertex labels, aligned with ids
+//	rowPtr    (n+1) × int32, padded to 8
+//	colIdx    m × int32 global dense neighbor indexes, padded to 8
+//	labelKeys L × (label int64, off uint32, cnt uint32)  sorted by label
+//	labelIdx  n × int32 concatenated per-label sorted index lists, padded
+type segLayout struct {
+	ids, labels, rowPtr, colIdx, labelKeys, labelIdx int64
+	total                                            int64
+}
+
+// pad8 rounds a byte count up to the next multiple of 8.
+func pad8(n int64) int64 { return (n + 7) &^ 7 }
+
+// layoutFor computes the section offsets of a segment holding n vertices,
+// m neighbor entries and l distinct labels.
+func layoutFor(n, m, l int) segLayout {
+	lay := segLayout{}
+	off := int64(headerSize)
+	lay.ids = off
+	off += int64(n) * 8
+	lay.labels = off
+	off += int64(n) * 8
+	lay.rowPtr = off
+	off += pad8(int64(n+1) * 4)
+	lay.colIdx = off
+	off += pad8(int64(m) * 4)
+	lay.labelKeys = off
+	off += int64(l) * 16
+	lay.labelIdx = off
+	off += pad8(int64(n) * 4)
+	lay.total = off
+	return lay
+}
+
+// segHeader is the decoded fixed-size segment header.
+type segHeader struct {
+	magic     uint32
+	version   uint32
+	shard     uint32
+	vertices  uint32
+	neighbors uint64
+	labels    uint32
+	lo        uint64
+}
+
+// putHeader encodes h into the first headerSize bytes of buf; the reserved
+// tail stays zero.
+func putHeader(buf []byte, h segHeader) {
+	binary.LittleEndian.PutUint32(buf[0:], h.magic)
+	binary.LittleEndian.PutUint32(buf[4:], h.version)
+	binary.LittleEndian.PutUint32(buf[8:], h.shard)
+	binary.LittleEndian.PutUint32(buf[12:], h.vertices)
+	binary.LittleEndian.PutUint64(buf[16:], h.neighbors)
+	binary.LittleEndian.PutUint32(buf[24:], h.labels)
+	binary.LittleEndian.PutUint64(buf[32:], h.lo)
+}
+
+// readHeader decodes a segment header, validating magic and version.
+func readHeader(buf []byte) (segHeader, error) {
+	if len(buf) < headerSize {
+		return segHeader{}, fmt.Errorf("store: segment shorter than its %d-byte header", headerSize)
+	}
+	h := segHeader{
+		magic:     binary.LittleEndian.Uint32(buf[0:]),
+		version:   binary.LittleEndian.Uint32(buf[4:]),
+		shard:     binary.LittleEndian.Uint32(buf[8:]),
+		vertices:  binary.LittleEndian.Uint32(buf[12:]),
+		neighbors: binary.LittleEndian.Uint64(buf[16:]),
+		labels:    binary.LittleEndian.Uint32(buf[24:]),
+		lo:        binary.LittleEndian.Uint64(buf[32:]),
+	}
+	if h.magic != segMagic {
+		return segHeader{}, fmt.Errorf("store: bad segment magic %#08x (not a shard segment)", h.magic)
+	}
+	if h.version != FormatVersion {
+		return segHeader{}, fmt.Errorf("store: unknown segment format version %d (this build reads version %d)", h.version, FormatVersion)
+	}
+	return h, nil
+}
+
+// castagnoli is the CRC32-C table shared by Write and Open.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// hostLittleEndian reports whether the running machine stores integers
+// little-endian, the segment byte order.
+var hostLittleEndian = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// canAlias reports whether mapped segment bytes can be reinterpreted as the
+// snapshot's typed slices in place: the host must be little-endian (the
+// segment byte order) with 64-bit ints (the in-memory width of VertexID and
+// Label). Anywhere else Open falls back to a copying decode — slower and
+// heap-resident, but correct.
+var canAlias = hostLittleEndian && unsafe.Sizeof(int(0)) == 8
+
+// aliasSlice reinterprets n elements of T starting at data[off] without
+// copying. Callers guarantee 8-byte alignment of off (every section layout
+// does) and that the slice stays within data.
+func aliasSlice[T any](data []byte, off int64, n int) []T {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&data[off])), n)
+}

@@ -1,0 +1,34 @@
+//go:build !linux && !darwin
+
+package store
+
+import "os"
+
+// mmapSupported reports whether segments are served from real file mappings
+// on this platform; this fallback build reads them onto the heap instead, so
+// the residency manager's accounting runs but its evictions release nothing.
+const mmapSupported = false
+
+// mapping is one segment file's bytes: a plain heap copy on this platform.
+type mapping struct {
+	data   []byte
+	mapped bool
+}
+
+// mapFile reads the whole file at path onto the heap.
+func mapFile(path string) (mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return mapping{}, err
+	}
+	return mapping{data: data}, nil
+}
+
+// close releases nothing; the heap copy is garbage-collected normally.
+func (m mapping) close() error { return nil }
+
+// advisePageIn is a no-op without a real mapping.
+func advisePageIn(mapping) {}
+
+// adviseEvict is a no-op without a real mapping.
+func adviseEvict(mapping) {}

@@ -1,0 +1,69 @@
+//go:build linux || darwin
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether segments are served from real file mappings
+// on this platform (true here) or from heap copies (the fallback build).
+const mmapSupported = true
+
+// mapping is one segment file's bytes: a read-only shared file mapping on
+// this platform.
+type mapping struct {
+	data   []byte
+	mapped bool
+}
+
+// mapFile maps the file at path read-only and returns its bytes. Zero-length
+// files yield an empty, unmapped mapping.
+func mapFile(path string) (mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return mapping{}, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return mapping{}, err
+	}
+	if st.Size() == 0 {
+		return mapping{}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return mapping{}, fmt.Errorf("mmap %s: %w", path, err)
+	}
+	return mapping{data: data, mapped: true}, nil
+}
+
+// close unmaps the segment. The caller guarantees no snapshot reader still
+// uses the bytes.
+func (m mapping) close() error {
+	if !m.mapped {
+		return nil
+	}
+	return syscall.Munmap(m.data)
+}
+
+// advisePageIn hints the kernel to read the mapped bytes ahead (the page-in
+// side of the residency manager). Advisory: errors are ignored.
+func advisePageIn(m mapping) {
+	if m.mapped {
+		_ = syscall.Madvise(m.data, syscall.MADV_WILLNEED)
+	}
+}
+
+// adviseEvict drops the mapped bytes from this process's resident set; the
+// next access faults them back in from the file. Mappings stay valid
+// throughout, which is what makes eviction safe under concurrent readers.
+// Advisory: errors are ignored.
+func adviseEvict(m mapping) {
+	if m.mapped {
+		_ = syscall.Madvise(m.data, syscall.MADV_DONTNEED)
+	}
+}

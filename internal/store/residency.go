@@ -1,0 +1,254 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// BudgetEnv is the environment variable Open consults when Options carries
+// no explicit residency budget. It accepts the ParseBudget syntax — plain
+// bytes ("8388608"), binary sizes ("64MiB"), or a percentage of the store's
+// mapped bytes ("25%") — and exists so test and CI runs can force paging
+// across every store the process opens without threading a flag everywhere.
+const BudgetEnv = "REPRO_STORE_BUDGET"
+
+// ParseBudget parses a residency budget written as plain bytes ("8388608"),
+// a binary-suffixed size ("512KiB", "64MiB", "2GiB", "1TiB", with K/M/G/T
+// and KB/MB/GB/TB accepted as the same powers of two), or a percentage of
+// the store's total mapped bytes ("25%"). Exactly one of bytes and frac is
+// non-zero on success; an empty string parses to the unlimited budget
+// (0, 0).
+func ParseBudget(s string) (bytes int64, frac float64, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, 0, nil
+	}
+	if strings.HasSuffix(s, "%") {
+		pct, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("store: bad budget percentage %q: %w", s, err)
+		}
+		if pct <= 0 || pct > 100 {
+			return 0, 0, fmt.Errorf("store: budget percentage %q outside (0, 100]", s)
+		}
+		return 0, pct / 100, nil
+	}
+	units := []struct {
+		suffix string
+		mult   int64
+	}{
+		{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30}, {"TiB", 1 << 40},
+		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30}, {"TB", 1 << 40},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30}, {"T", 1 << 40},
+	}
+	for _, u := range units {
+		if strings.HasSuffix(s, u.suffix) {
+			f, err := strconv.ParseFloat(strings.TrimSuffix(s, u.suffix), 64)
+			if err != nil {
+				return 0, 0, fmt.Errorf("store: bad budget size %q: %w", s, err)
+			}
+			if f <= 0 {
+				return 0, 0, fmt.Errorf("store: budget size %q must be positive", s)
+			}
+			return int64(f * float64(u.mult)), 0, nil
+		}
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: bad budget %q: %w", s, err)
+	}
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("store: budget %q must be positive", s)
+	}
+	return n, 0, nil
+}
+
+// envBudget resolves the BudgetEnv override against a store of total mapped
+// bytes; it returns 0 (unlimited) when the variable is unset or empty.
+func envBudget(total int64) (int64, error) {
+	b, frac, err := ParseBudget(os.Getenv(BudgetEnv))
+	if err != nil {
+		return 0, fmt.Errorf("store: %s: %w", BudgetEnv, err)
+	}
+	if frac > 0 {
+		return int64(frac * float64(total)), nil
+	}
+	return b, nil
+}
+
+// ResidencyStats is a point-in-time view of the residency manager's
+// accounting, for diagnostics and tests. Residency is tracked at shard
+// granularity from the scheduler's Acquire/Release hints; the kernel pages
+// the mapped bytes lazily underneath, so ResidentBytes is the manager's
+// upper-bound estimate of the store's page residency, not an RSS probe.
+type ResidencyStats struct {
+	// BudgetBytes is the configured cap; 0 means unlimited (no eviction).
+	BudgetBytes int64
+	// MappedBytes is the total size of all mapped segments.
+	MappedBytes int64
+	// ResidentBytes is the byte size of the shards currently accounted
+	// resident.
+	ResidentBytes int64
+	// Shards and ResidentShards count all shards and the resident subset.
+	Shards         int
+	ResidentShards int
+	// PageIns counts cold-shard acquisitions (a page-in hint was issued).
+	PageIns uint64
+	// Evictions counts shards evicted to get back under the budget.
+	Evictions uint64
+}
+
+// String renders the accounting as the one-line summary the CLIs print.
+func (s ResidencyStats) String() string {
+	return fmt.Sprintf("%d/%d shards resident, %d page-ins, %d evictions (budget %d of %d bytes)",
+		s.ResidentShards, s.Shards, s.PageIns, s.Evictions, s.BudgetBytes, s.MappedBytes)
+}
+
+// residency is the paging policy of an open store. It implements
+// graph.ShardBacking: the enumeration scheduler announces shard ownership
+// through AcquireShard/ReleaseShard, and the manager pages acquired shards
+// in (madvise WILLNEED on first touch) and evicts cold ones (madvise
+// DONTNEED) whenever the accounted resident bytes exceed the budget.
+//
+// Eviction order is least-recently-used among unpinned shards, with pinned
+// shards (those a worker is currently draining) never evicted — so the
+// shards the shard-first scheduler most recently drained are evicted last,
+// exactly the ownership-keyed policy the scheduler's locality argument
+// wants. Shards touched only by cross-shard neighbor reads are paged by the
+// kernel without an Acquire and are therefore not accounted; the budget
+// bounds the scheduler-driven bulk of the working set, not every last page.
+type residency struct {
+	budget int64
+
+	mu       sync.Mutex
+	clock    uint64
+	resident int64
+	pageIns  uint64
+	evicted  uint64
+	shards   []shardRes
+}
+
+// shardRes is the residency state of one shard segment.
+type shardRes struct {
+	m        mapping
+	bytes    int64
+	resident bool
+	pinned   int
+	lastUse  uint64
+}
+
+// newResidency builds the manager over the store's segment mappings. All
+// shards start accounted non-resident; Open issues a global evict first so
+// the accounting matches the kernel state after checksum verification.
+func newResidency(budget int64, maps []mapping) *residency {
+	r := &residency{budget: budget, shards: make([]shardRes, len(maps))}
+	for i, m := range maps {
+		r.shards[i] = shardRes{m: m, bytes: int64(len(m.data))}
+	}
+	return r
+}
+
+// AcquireShard implements graph.ShardBacking: pin shard k, page it in if it
+// is cold, and evict LRU unpinned shards while over budget.
+func (r *residency) AcquireShard(k int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sh := &r.shards[k]
+	sh.pinned++
+	r.clock++
+	sh.lastUse = r.clock
+	if !sh.resident {
+		advisePageIn(sh.m)
+		sh.resident = true
+		r.resident += sh.bytes
+		r.pageIns++
+		r.evictOverBudget()
+	}
+}
+
+// ReleaseShard implements graph.ShardBacking: unpin shard k and stamp it
+// most recently used, so drained shards sort to the back of the eviction
+// order.
+func (r *residency) ReleaseShard(k int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sh := &r.shards[k]
+	if sh.pinned > 0 {
+		sh.pinned--
+	}
+	r.clock++
+	sh.lastUse = r.clock
+}
+
+// evictOverBudget drops least-recently-used unpinned shards until the
+// accounted resident bytes fit the budget (or only pinned shards remain).
+// Caller holds r.mu.
+func (r *residency) evictOverBudget() {
+	if r.budget <= 0 {
+		return
+	}
+	for r.resident > r.budget {
+		victim := -1
+		for i := range r.shards {
+			sh := &r.shards[i]
+			if !sh.resident || sh.pinned > 0 {
+				continue
+			}
+			if victim < 0 || sh.lastUse < r.shards[victim].lastUse {
+				victim = i
+			}
+		}
+		if victim < 0 {
+			return // everything resident is pinned; nothing safe to drop
+		}
+		r.evictLocked(victim)
+	}
+}
+
+// evictLocked drops shard k's pages and accounting. Caller holds r.mu.
+func (r *residency) evictLocked(k int) {
+	sh := &r.shards[k]
+	adviseEvict(sh.m)
+	sh.resident = false
+	r.resident -= sh.bytes
+	r.evicted++
+}
+
+// evictAll drops every shard's pages and resets the accounting to cold; Open
+// uses it after checksum verification so budgeted stores start empty.
+func (r *residency) evictAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.shards {
+		if r.shards[i].pinned == 0 {
+			adviseEvict(r.shards[i].m)
+			if r.shards[i].resident {
+				r.shards[i].resident = false
+				r.resident -= r.shards[i].bytes
+			}
+		}
+	}
+}
+
+// stats snapshots the accounting.
+func (r *residency) stats() ResidencyStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := ResidencyStats{
+		BudgetBytes:   r.budget,
+		Shards:        len(r.shards),
+		ResidentBytes: r.resident,
+		PageIns:       r.pageIns,
+		Evictions:     r.evicted,
+	}
+	for i := range r.shards {
+		s.MappedBytes += r.shards[i].bytes
+		if r.shards[i].resident {
+			s.ResidentShards++
+		}
+	}
+	return s
+}

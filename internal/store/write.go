@@ -1,0 +1,192 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math/bits"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Write persists a frozen snapshot into dir as an out-of-core shard store:
+// one flat binary segment per CSR shard plus a manifest with per-segment
+// checksums. Any snapshot works — freshly frozen, incrementally refrozen, or
+// even one that was itself opened from a store. The directory is created if
+// needed; an existing store in it is replaced.
+//
+// Every segment is staged under a temporary name and the whole set is
+// renamed into place only after all of them encoded successfully, with the
+// manifest renamed last and segment files a smaller previous store leaves
+// behind removed after that — so a Write that crashes while encoding leaves
+// an existing store fully intact, and a fresh directory is either complete
+// or unopenable. (A crash inside the final rename sequence of an in-place
+// rewrite can still leave the old manifest next to new segments; rewriters
+// that need atomicity under that window should write to a fresh directory
+// and swap directories.)
+//
+// The segment encoding is pointer-free and section-aligned so Open can serve
+// the shard arrays directly from the mapped file bytes; see segLayout for
+// the exact layout.
+func Write(snap *graph.Snapshot, dir string) error {
+	if snap == nil {
+		return fmt.Errorf("store: nil snapshot")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	man := Manifest{
+		Format:     FormatName,
+		Version:    FormatVersion,
+		Name:       snap.Name(),
+		Vertices:   snap.NumVertices(),
+		Edges:      snap.NumEdges(),
+		ShardShift: uint(bits.TrailingZeros(uint(snap.ShardSize()))),
+		Shards:     snap.NumShards(),
+	}
+	for k := 0; k < snap.NumShards(); k++ {
+		seg, err := writeSegment(dir, snap, k)
+		if err != nil {
+			removeStaged(dir, k)
+			return err
+		}
+		man.Segments = append(man.Segments, seg)
+	}
+	for k := range man.Segments {
+		if err := os.Rename(filepath.Join(dir, stagedName(k)), filepath.Join(dir, segmentFileName(k))); err != nil {
+			return fmt.Errorf("store: installing segment %d: %w", k, err)
+		}
+	}
+	if err := writeManifest(dir, man); err != nil {
+		return err
+	}
+	removeOrphanSegments(dir, snap.NumShards())
+	return nil
+}
+
+// stagedName names the temporary staging file of shard k's segment.
+func stagedName(k int) string { return segmentFileName(k) + ".tmp" }
+
+// removeStaged deletes the staging files of segments 0..upto after a failed
+// Write, leaving any pre-existing store untouched.
+func removeStaged(dir string, upto int) {
+	for k := 0; k <= upto; k++ {
+		os.Remove(filepath.Join(dir, stagedName(k)))
+	}
+}
+
+// removeOrphanSegments deletes segment files beyond the new shard count —
+// leftovers of a previous, larger store in the same directory that the new
+// manifest no longer references.
+func removeOrphanSegments(dir string, shards int) {
+	matches, err := filepath.Glob(filepath.Join(dir, "shard-*.seg"))
+	if err != nil {
+		return
+	}
+	for _, path := range matches {
+		var k int
+		if _, err := fmt.Sscanf(filepath.Base(path), "shard-%05d.seg", &k); err == nil && k >= shards {
+			os.Remove(path)
+		}
+	}
+}
+
+// writeManifest writes the manifest via a temp file and rename so a store
+// directory is either complete or unopenable.
+func writeManifest(dir string, man Manifest) error {
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	tmp := filepath.Join(dir, ManifestFile+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestFile)); err != nil {
+		return fmt.Errorf("store: installing manifest: %w", err)
+	}
+	return nil
+}
+
+// segmentFileName names shard k's segment file.
+func segmentFileName(k int) string { return fmt.Sprintf("shard-%05d.seg", k) }
+
+// writeSegment encodes shard k of the snapshot into its staged segment file
+// and returns the manifest descriptor. The whole segment is assembled in one
+// buffer — shards bound every snapshot allocation, so the buffer is bounded
+// by the shard size, not the graph size.
+func writeSegment(dir string, snap *graph.Snapshot, k int) (Segment, error) {
+	lo, hi := snap.ShardRange(k)
+	n := int(hi - lo)
+
+	// Collect the shard's distinct labels (sorted) and measure the column
+	// array; both are needed to fix the layout before encoding.
+	m := 0
+	labelSet := make(map[graph.Label]bool)
+	for i := lo; i < hi; i++ {
+		m += snap.DegreeAt(i)
+		labelSet[snap.LabelAt(i)] = true
+	}
+	labels := make([]graph.Label, 0, len(labelSet))
+	for l := range labelSet {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+
+	lay := layoutFor(n, m, len(labels))
+	buf := make([]byte, lay.total)
+	putHeader(buf, segHeader{
+		magic:     segMagic,
+		version:   FormatVersion,
+		shard:     uint32(k),
+		vertices:  uint32(n),
+		neighbors: uint64(m),
+		labels:    uint32(len(labels)),
+		lo:        uint64(lo),
+	})
+
+	col := 0
+	for i := lo; i < hi; i++ {
+		j := int(i - lo)
+		binary.LittleEndian.PutUint64(buf[lay.ids+int64(j)*8:], uint64(snap.ID(i)))
+		binary.LittleEndian.PutUint64(buf[lay.labels+int64(j)*8:], uint64(snap.LabelAt(i)))
+		binary.LittleEndian.PutUint32(buf[lay.rowPtr+int64(j)*4:], uint32(col))
+		for _, nb := range snap.NeighborsAt(i) {
+			binary.LittleEndian.PutUint32(buf[lay.colIdx+int64(col)*4:], uint32(nb))
+			col++
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[lay.rowPtr+int64(n)*4:], uint32(col))
+
+	idx := 0
+	for li, l := range labels {
+		idxs := snap.ShardIndexesWithLabel(k, l)
+		key := lay.labelKeys + int64(li)*16
+		binary.LittleEndian.PutUint64(buf[key:], uint64(l))
+		binary.LittleEndian.PutUint32(buf[key+8:], uint32(idx))
+		binary.LittleEndian.PutUint32(buf[key+12:], uint32(len(idxs)))
+		for _, gi := range idxs {
+			binary.LittleEndian.PutUint32(buf[lay.labelIdx+int64(idx)*4:], uint32(gi))
+			idx++
+		}
+	}
+	if idx != n {
+		return Segment{}, fmt.Errorf("store: shard %d label partition covers %d of %d vertices", k, idx, n)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, stagedName(k)), buf, 0o644); err != nil {
+		return Segment{}, fmt.Errorf("store: writing segment %s: %w", segmentFileName(k), err)
+	}
+	return Segment{
+		File:      segmentFileName(k),
+		Vertices:  n,
+		Neighbors: m,
+		Labels:    len(labels),
+		Bytes:     lay.total,
+		CRC32C:    crc32.Checksum(buf, castagnoli),
+	}, nil
+}

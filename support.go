@@ -29,6 +29,7 @@ import (
 	"repro/internal/measures"
 	"repro/internal/miner"
 	"repro/internal/pattern"
+	"repro/internal/store"
 )
 
 // Re-exported core types. The aliases expose the full method sets of the
@@ -80,6 +81,23 @@ type (
 	Mutation = graph.Mutation
 	// MutationFeed is a pull-based subscription to a graph's mutations.
 	MutationFeed = graph.MutationFeed
+	// Snapshot is an immutable sharded CSR view of a Graph, the structure
+	// all enumeration runs on; obtain one with Graph.Freeze/FreezeSharded or
+	// from an out-of-core store via OpenStore.
+	Snapshot = graph.Snapshot
+	// FreezeOptions controls the shard partition of Graph.FreezeSharded.
+	FreezeOptions = graph.FreezeOptions
+	// Store is an open out-of-core shard store: mmap-backed segments served
+	// as a Snapshot under a residency-managed paging budget. See OpenStore.
+	Store = store.Store
+	// StoreOptions configures OpenStore (residency budget, checksum
+	// verification).
+	StoreOptions = store.Options
+	// StoreManifest describes a store directory (totals, shard geometry,
+	// per-segment checksums).
+	StoreManifest = store.Manifest
+	// ResidencyStats is the paging accounting of an open Store.
+	ResidencyStats = store.ResidencyStats
 	// Figure is a built-in worked example from the paper.
 	Figure = dataset.Figure
 )
@@ -171,6 +189,11 @@ type ContextOptions struct {
 	// of the enumeration workers. Only MNI and the raw occurrence/instance
 	// counts can be computed on a streaming context.
 	Streaming bool
+	// Snapshot pins context construction to an explicit frozen snapshot —
+	// above all a store-opened, mmap-backed one — instead of freezing the
+	// graph argument, which may then be nil. Shards is ignored: the
+	// snapshot's own shard geometry applies.
+	Snapshot *Snapshot
 }
 
 // NewContext enumerates the occurrences and instances of p in g and builds
@@ -183,6 +206,7 @@ func NewContext(g *Graph, p *Pattern, opts ContextOptions) (*Context, error) {
 		Parallelism:    opts.Parallelism,
 		Shards:         opts.Shards,
 		Streaming:      opts.Streaming,
+		Snapshot:       opts.Snapshot,
 	})
 }
 
@@ -269,6 +293,57 @@ func Mine(g *Graph, cfg MinerConfig) (*MinerResult, error) {
 // the session when done.
 func MineIncremental(g *Graph, cfg MinerConfig) (*IncrementalMiner, error) {
 	return miner.NewIncremental(g, cfg)
+}
+
+// WriteStore persists a frozen snapshot as an out-of-core shard store in
+// dir: one flat, checksummed binary segment per CSR shard plus a manifest.
+// Open it again — in this process or any other — with OpenStore.
+func WriteStore(snap *Snapshot, dir string) error { return store.Write(snap, dir) }
+
+// OpenStore opens the shard store at dir and serves it as an mmap-backed
+// Snapshot (Store.Snapshot): shard arrays alias the mapped segment bytes
+// with no deserialization copy, and a residency manager pages shards in on
+// first drain and evicts cold ones under opts' byte budget, so stores
+// larger than RAM enumerate and mine with results identical to the
+// in-memory snapshot they were written from. Close the store when its
+// snapshot is no longer in use.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) { return store.Open(dir, opts) }
+
+// OpenStoreWithBudget is OpenStore with the residency budget given in
+// ParseResidencyBudget syntax (bytes, "64MiB", "25%"; empty = unlimited) —
+// the one-call form behind the CLI -store/-residency flag pairs.
+func OpenStoreWithBudget(dir, budget string) (*Store, error) {
+	return store.OpenWithBudget(dir, budget)
+}
+
+// ParseResidencyBudget parses a residency budget string: plain bytes
+// ("8388608"), binary sizes ("64MiB"), or a percentage of the store's
+// mapped bytes ("25%"). It is the syntax of the CLI -residency flags and of
+// the store.BudgetEnv environment override.
+func ParseResidencyBudget(s string) (bytes int64, frac float64, err error) {
+	return store.ParseBudget(s)
+}
+
+// MineSnapshot runs the frequent-subgraph miner directly over a frozen
+// snapshot — typically a store-opened, mmap-backed one — with no mutable
+// Graph required. Results are identical to Mine on the graph the snapshot
+// was frozen from; cfg.EnumShards is ignored in favor of the snapshot's own
+// shard geometry.
+func MineSnapshot(snap *Snapshot, cfg MinerConfig) (*MinerResult, error) {
+	m, err := miner.NewSnapshot(snap, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Mine()
+}
+
+// EvaluateSnapshot computes the given measures (all default measures when
+// none are named) for pattern p over an explicit frozen snapshot —
+// typically a store-opened, mmap-backed one. It is Evaluate for data that
+// has no mutable Graph behind it.
+func EvaluateSnapshot(snap *Snapshot, p *Pattern, opts ContextOptions, names ...string) (*Evaluation, error) {
+	opts.Snapshot = snap
+	return EvaluateWithOptions(nil, p, opts, names...)
 }
 
 // MineWithMeasure is a convenience wrapper around Mine that selects the
