@@ -13,12 +13,16 @@
 //	                 # mine an mmapped out-of-core shard store (written by
 //	                 # ggen -store) without materializing the graph in RAM,
 //	                 # paging shards under the given residency budget
+//	gminer -graph data.lg -minsup 5 -explain
+//	                 # additionally print each frequent pattern's search
+//	                 # plan (order, per-depth candidate estimates, kernels)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	support "repro"
@@ -42,6 +46,7 @@ func main() {
 		insertSeed  = flag.Uint64("insert-seed", 1, "PRNG seed for the -incremental edge inserts")
 		storePath   = flag.String("store", "", "mine an mmapped out-of-core shard store directory (written by ggen -store) instead of parsing -graph")
 		residency   = flag.String("residency", "", "residency byte budget for -store paging: bytes, binary sizes (64MiB) or a percentage of the store (25%); empty = unlimited")
+		explain     = flag.Bool("explain", false, "print the enumeration engine's search plan under each reported frequent pattern")
 	)
 	flag.Parse()
 
@@ -64,7 +69,7 @@ func main() {
 		if *incremental {
 			fatal(fmt.Errorf("-incremental needs a mutable graph; a -store snapshot is immutable"))
 		}
-		mineStore(*storePath, *residency, cfg, *measure, *minsup, *maxsize, *top)
+		mineStore(*storePath, *residency, cfg, *measure, *minsup, *maxsize, *top, *explain)
 		return
 	}
 
@@ -77,7 +82,7 @@ func main() {
 	}
 
 	if *incremental {
-		mineIncremental(g, cfg, *measure, *minsup, *maxsize, *top, *inserts, *insertSeed)
+		mineIncremental(g, cfg, *measure, *minsup, *maxsize, *top, *inserts, *insertSeed, *explain)
 		return
 	}
 
@@ -86,12 +91,35 @@ func main() {
 		fatal(err)
 	}
 	printHeader(g, *measure, *minsup, *maxsize)
-	printResult(res, *top)
+	printResult(res, *top, graphExplainer(g, cfg, *explain))
+}
+
+// planExplainer compiles the search plan of one mined pattern for -explain
+// output; nil disables plan printing.
+type planExplainer func(*support.Pattern) *support.PlanExplanation
+
+// graphExplainer builds the planExplainer for a heap-resident data graph.
+func graphExplainer(g *support.Graph, cfg support.MinerConfig, enabled bool) planExplainer {
+	if !enabled {
+		return nil
+	}
+	return snapshotExplainer(g.FreezeSharded(support.FreezeOptions{Shards: cfg.EnumShards}), cfg)
+}
+
+// snapshotExplainer builds the planExplainer for an explicit snapshot.
+func snapshotExplainer(snap *support.Snapshot, cfg support.MinerConfig) planExplainer {
+	opts := support.ContextOptions{
+		DisablePlanner: cfg.EnumDisablePlanner,
+		DisableKernels: cfg.EnumDisableKernels,
+	}
+	return func(p *support.Pattern) *support.PlanExplanation {
+		return support.ExplainPlan(snap, p, opts)
+	}
 }
 
 // mineStore mines an mmapped shard store: the data graph never exists as
 // heap objects, only as paged segment bytes behind the snapshot read API.
-func mineStore(dir, residency string, cfg support.MinerConfig, measure string, minsup float64, maxsize, top int) {
+func mineStore(dir, residency string, cfg support.MinerConfig, measure string, minsup float64, maxsize, top int, explain bool) {
 	st, err := support.OpenStoreWithBudget(dir, residency)
 	if err != nil {
 		fatal(err)
@@ -104,14 +132,18 @@ func mineStore(dir, residency string, cfg support.MinerConfig, measure string, m
 	}
 	fmt.Printf("data graph: store %s (%q, |V|=%d, |E|=%d, %d shards of %d vertices)\nmeasure:    %s   threshold: %g   max pattern size: %d\n\n",
 		dir, snap.Name(), snap.NumVertices(), snap.NumEdges(), snap.NumShards(), snap.ShardSize(), measure, minsup, maxsize)
-	printResult(res, top)
+	var pe planExplainer
+	if explain {
+		pe = snapshotExplainer(snap, cfg)
+	}
+	printResult(res, top, pe)
 	fmt.Printf("\nresidency: %s\n", st.Residency())
 }
 
 // mineIncremental runs the warm-session workflow: mine once, mutate the
 // graph, and re-answer from the live delta state, reporting how the refresh
 // latency compares to a from-scratch re-mine of the mutated graph.
-func mineIncremental(g *support.Graph, cfg support.MinerConfig, measure string, minsup float64, maxsize, top, inserts int, seed uint64) {
+func mineIncremental(g *support.Graph, cfg support.MinerConfig, measure string, minsup float64, maxsize, top, inserts int, seed uint64, explain bool) {
 	inc, err := support.MineIncremental(g, cfg)
 	if err != nil {
 		fatal(err)
@@ -120,7 +152,7 @@ func mineIncremental(g *support.Graph, cfg support.MinerConfig, measure string, 
 
 	printHeader(g, measure, minsup, maxsize)
 	fmt.Printf("=== initial mine (tracked candidates: %d) ===\n", inc.TrackedPatterns())
-	printResult(inc.Result(), top)
+	printResult(inc.Result(), top, graphExplainer(g, cfg, explain))
 
 	applied := applyRandomInserts(g, inserts, seed)
 	if applied < inserts {
@@ -147,7 +179,7 @@ func mineIncremental(g *support.Graph, cfg support.MinerConfig, measure string, 
 	fmt.Printf("\n=== after %d random edge inserts ===\n", applied)
 	fmt.Printf("delta refresh:  %12s  (tracked candidates: %d)\n", refreshElapsed, inc.TrackedPatterns())
 	fmt.Printf("cold re-mine:   %12s  (same %d frequent patterns)\n\n", coldElapsed, len(cold.Patterns))
-	printResult(res, top)
+	printResult(res, top, graphExplainer(g, cfg, explain))
 }
 
 // applyRandomInserts adds up to n random non-duplicate edges between
@@ -180,8 +212,9 @@ func printHeader(g *support.Graph, measure string, minsup float64, maxsize int) 
 }
 
 // printResult renders a mining result, truncated to the top-N patterns when
-// asked to.
-func printResult(res *support.MinerResult, top int) {
+// asked to; a non-nil explainer prints each printed pattern's search plan
+// under its result line.
+func printResult(res *support.MinerResult, top int, explain planExplainer) {
 	fmt.Printf("candidates evaluated: %d   pruned: %d   duplicates skipped: %d   elapsed: %s\n\n",
 		res.Stats.Candidates, res.Stats.Pruned, res.Stats.Duplicates, res.Stats.Elapsed)
 
@@ -197,7 +230,21 @@ func printResult(res *support.MinerResult, top int) {
 		}
 		fmt.Printf("%3d. support=%.4g%s  occurrences=%d  instances=%d  %s\n",
 			i+1, fp.Support, exact, fp.Occurrences, fp.Instances, describePattern(fp))
+		if explain != nil {
+			fmt.Print(indent(explain(fp.Pattern).String(), "     "))
+		}
 	}
+}
+
+// indent prefixes every non-empty line of s.
+func indent(s, prefix string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = prefix + l
+		}
+	}
+	return strings.Join(lines, "\n")
 }
 
 // describePattern renders a small textual description of a frequent pattern.

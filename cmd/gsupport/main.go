@@ -11,6 +11,9 @@
 //	                 # mmap an out-of-core shard store (written by
 //	                 # ggen -store) instead of parsing a .lg file, paging
 //	                 # shards under the given residency budget
+//	gsupport -graph data.lg -edge 1,2 -explain
+//	                 # additionally print the enumeration engine's search
+//	                 # plan (order, per-depth candidate estimates, kernels)
 //
 // With no -measures flag every measure is computed and the bounding chain of
 // the paper is verified.
@@ -40,6 +43,7 @@ func main() {
 		streaming   = flag.Bool("streaming", false, "stream occurrences instead of materializing them (restricts -measures to MNI and the raw counts)")
 		storePath   = flag.String("store", "", "mmap an out-of-core shard store directory (written by ggen -store) as the data graph instead of -graph")
 		residency   = flag.String("residency", "", "residency byte budget for -store paging: bytes, binary sizes (64MiB) or a percentage of the store (25%); empty = unlimited")
+		explain     = flag.Bool("explain", false, "print the enumeration engine's search plan (order, per-depth candidate estimates, kernels) before evaluating")
 	)
 	flag.Parse()
 
@@ -70,6 +74,9 @@ func main() {
 		}
 		defer st.Close()
 		snap := st.Snapshot()
+		if *explain {
+			fmt.Print(support.ExplainPlan(snap, p, opts))
+		}
 		ev, err := support.EvaluateSnapshot(snap, p, opts, names...)
 		if err != nil {
 			fatal(err)
@@ -85,6 +92,10 @@ func main() {
 	g, p, err := loadInputs(*figureName, *graphPath, *patternPath, *edgeLabels)
 	if err != nil {
 		fatal(err)
+	}
+	if *explain {
+		snap := g.FreezeSharded(support.FreezeOptions{Shards: *shards})
+		fmt.Print(support.ExplainPlan(snap, p, opts))
 	}
 	ev, err := support.EvaluateWithOptions(g, p, opts, names...)
 	if err != nil {

@@ -90,6 +90,7 @@ func allExperiments() []Experiment {
 		figuresExperiment(),
 		chainExperiment(),
 		enumerationExperiment(),
+		plannerExperiment(),
 		shardingExperiment(),
 		incrementalExperiment(),
 		deltaMNIExperiment(),

@@ -88,13 +88,17 @@ func timeBest(iters int, run func()) int64 {
 }
 
 // timeEnumeration times Enumerate with the given options and returns the
-// best-of-batches ns per run plus the occurrence count.
+// best-of-batches ns per run plus the occurrence count. The timed closure
+// keeps only the occurrence count, not the result slice: retaining the
+// previous run's multi-megabyte occurrence list across the next run would
+// make every garbage-collection cycle re-mark it, timing the caller's
+// retention pattern instead of the enumeration engine.
 func timeEnumeration(g *graph.Graph, p *pattern.Pattern, opts isomorph.Options, iters int) (int64, int) {
-	occs := isomorph.Enumerate(g, p, opts) // warm-up; also freezes the snapshot
+	count := len(isomorph.Enumerate(g, p, opts)) // warm-up; also freezes the snapshot
 	best := timeBest(iters, func() {
-		occs = isomorph.Enumerate(g, p, opts)
+		count = len(isomorph.Enumerate(g, p, opts))
 	})
-	return best, len(occs)
+	return best, count
 }
 
 // EnumerationRecords times sequential vs parallel enumeration of the 4-node
@@ -188,13 +192,14 @@ func MiningRecord(cfg Config) (EnumerationRecord, error) {
 	}, nil
 }
 
-// NewEnumerationReport measures the enumeration records plus the end-to-end
-// mining record (mine-mni), the delta-maintenance pair (delta-mni /
-// delta-mni-full) and the out-of-core store records (star4-store) for the
-// given configuration and wraps them in the BENCH_enumeration.json document
-// structure.
+// NewEnumerationReport measures the enumeration records plus the
+// naive-configuration A/B records (star4-naive), the end-to-end mining record
+// (mine-mni), the delta-maintenance pair (delta-mni / delta-mni-full) and the
+// out-of-core store records (star4-store) for the given configuration and
+// wraps them in the BENCH_enumeration.json document structure.
 func NewEnumerationReport(cfg Config) (*EnumerationReport, error) {
 	records := EnumerationRecords(cfg)
+	records = append(records, PlannerRecords(cfg)...)
 	mining, err := MiningRecord(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("bench: mining record: %w", err)

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/isomorph"
+)
+
+// PlannerRecords times sequential enumeration of the 4-node star with the
+// search-order planner and intersection kernels disabled, one record per
+// workload under the pattern name "star4-naive". Appended to the enumeration
+// report next to the default-configuration "star4" records, the pair turns
+// the CI benchmark gate into a standing A/B check: the planned records guard
+// the optimized path every later feature inherits, the naive records guard
+// the fallback the A/B knobs (Options.DisablePlanner / DisableKernels) keep
+// reachable.
+func PlannerRecords(cfg Config) []EnumerationRecord {
+	iters := quickInt(cfg, 2, 5)
+	var out []EnumerationRecord
+	for _, wl := range enumerationWorkloads(cfg) {
+		opts := isomorph.Options{
+			Parallelism:    1,
+			Shards:         cfg.Shards,
+			DisablePlanner: true,
+			DisableKernels: true,
+		}
+		ns, occs := timeEnumeration(wl.g, wl.p, opts, iters)
+		out = append(out, EnumerationRecord{
+			Workload:    wl.name,
+			Vertices:    wl.g.NumVertices(),
+			Edges:       wl.g.NumEdges(),
+			Pattern:     "star4-naive",
+			Mode:        "sequential",
+			Parallelism: 1,
+			Shards:      cfg.Shards,
+			Occurrences: occs,
+			NsPerOp:     ns,
+			Iterations:  iters,
+		})
+	}
+	return out
+}
+
+// plannerExperiment A/B-times the data-aware search-order planner and the
+// intersection kernels against the naive pattern-only configuration on the
+// enumeration workloads, verifying along the way that every configuration
+// enumerates the identical occurrence count.
+func plannerExperiment() Experiment {
+	return Experiment{
+		ID:    "planner",
+		Claim: "statistics-light search-order planning plus intersection kernels: binding selective constraints first and intersecting sorted neighbor runs shrinks the backtracking tree without changing the enumerated occurrence set",
+		Run: func(w io.Writer, cfg Config) error {
+			iters := quickInt(cfg, 2, 5)
+			configs := []struct {
+				name                           string
+				disablePlanner, disableKernels bool
+			}{
+				{"naive", true, true},
+				{"planner-only", false, true},
+				{"kernels-only", true, false},
+				{"planner+kernels", false, false},
+			}
+			t := NewTable(fmt.Sprintf("planned vs naive sequential enumeration, 4-node star pattern (GOMAXPROCS=%d)", runtime.GOMAXPROCS(0)),
+				"workload", "|V|", "|E|", "occurrences", "config", "ns/op")
+			for _, wl := range enumerationWorkloads(cfg) {
+				baseline := -1
+				for _, c := range configs {
+					opts := isomorph.Options{
+						Parallelism:    1,
+						Shards:         cfg.Shards,
+						DisablePlanner: c.disablePlanner,
+						DisableKernels: c.disableKernels,
+					}
+					ns, occs := timeEnumeration(wl.g, wl.p, opts, iters)
+					if baseline < 0 {
+						baseline = occs
+					}
+					if occs != baseline {
+						return fmt.Errorf("bench: %s config %s enumerated %d occurrences, want %d",
+							wl.name, c.name, occs, baseline)
+					}
+					t.AddRow(wl.name, wl.g.NumVertices(), wl.g.NumEdges(), occs, c.name, fmtDuration(float64(ns)))
+				}
+			}
+			return render(w, cfg, t)
+		},
+	}
+}

@@ -12,36 +12,18 @@ import (
 	"repro/internal/store"
 )
 
-// enumerateSnapshot materializes the canonically sorted occurrence list of p
-// over an explicit snapshot — the snapshot-pinned equivalent of
-// isomorph.Enumerate, used so store-backed timings measure exactly the same
-// work as the in-memory enumeration records.
-func enumerateSnapshot(snap *graph.Snapshot, p *pattern.Pattern, opts isomorph.Options) []*isomorph.Occurrence {
-	type bucket struct{ occs []*isomorph.Occurrence }
-	var buckets []*bucket
-	isomorph.EnumerateSnapshotWorkers(snap, p, opts, func(int) func(*isomorph.Occurrence) bool {
-		b := &bucket{}
-		buckets = append(buckets, b)
-		return func(o *isomorph.Occurrence) bool {
-			b.occs = append(b.occs, o)
-			return true
-		}
-	})
-	slices := make([][]*isomorph.Occurrence, len(buckets))
-	for i, b := range buckets {
-		slices[i] = b.occs
-	}
-	return isomorph.MergeSortedOccurrences(slices)
-}
-
-// timeSnapshotEnumeration times enumerateSnapshot with the best-of-batches
-// estimator shared by every gated record.
+// timeSnapshotEnumeration times isomorph.EnumerateSnapshot with the
+// best-of-batches estimator shared by every gated record, so store-backed
+// timings measure exactly the same materialization as the in-memory
+// enumeration records. Only the occurrence count is kept inside the timed
+// closure: retaining the previous result would keep megabytes of occurrences
+// live across runs and time the caller's GC pattern, not enumeration.
 func timeSnapshotEnumeration(snap *graph.Snapshot, p *pattern.Pattern, opts isomorph.Options, iters int) (int64, int) {
-	occs := enumerateSnapshot(snap, p, opts) // warm-up
+	count := len(isomorph.EnumerateSnapshot(snap, p, opts)) // warm-up
 	best := timeBest(iters, func() {
-		occs = enumerateSnapshot(snap, p, opts)
+		count = len(isomorph.EnumerateSnapshot(snap, p, opts))
 	})
-	return best, len(occs)
+	return best, count
 }
 
 // withTempStore writes the snapshot to a temporary shard store, opens it

@@ -72,6 +72,14 @@ type Options struct {
 	// isomorph.Options.Shards). The resulting Context is identical for every
 	// setting.
 	Shards int
+	// DisablePlanner and DisableKernels are the A/B switches of the
+	// enumeration engine's data-aware search-order planner and intersection
+	// kernels (isomorph.Options.DisablePlanner / DisableKernels). Both
+	// default to off — the optimized paths are the production
+	// configuration — and the resulting Context is identical for every
+	// setting.
+	DisablePlanner bool
+	DisableKernels bool
 	// Streaming skips materializing the occurrence list, the instance list
 	// and both hypergraphs; only the incremental aggregates (occurrence and
 	// instance counts, MNI domain tables) are kept. Measures that need the
@@ -188,9 +196,21 @@ func NewContext(g *graph.Graph, p *pattern.Pattern, opts Options) (*Context, err
 	if snap == nil {
 		snap = g.FreezeSharded(graph.FreezeOptions{Shards: opts.Shards})
 	}
+	enumPar := opts.Parallelism
+	if opts.MaxOccurrences > 0 {
+		// A parallel run would keep whichever occurrences win the race for
+		// the shared budget; pin the sequential path so the kept prefix is
+		// the deterministic one the Options doc promises.
+		enumPar = 1
+	}
 	var accs []*workerAcc
 	isomorph.EnumerateSnapshotWorkers(snap, p,
-		isomorph.Options{MaxOccurrences: opts.MaxOccurrences, Parallelism: opts.Parallelism},
+		isomorph.Options{
+			MaxOccurrences: opts.MaxOccurrences,
+			Parallelism:    enumPar,
+			DisablePlanner: opts.DisablePlanner,
+			DisableKernels: opts.DisableKernels,
+		},
 		func(int) func(*isomorph.Occurrence) bool {
 			a := &workerAcc{}
 			accs = append(accs, a)

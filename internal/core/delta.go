@@ -265,7 +265,12 @@ func (d *DeltaContext) enumerate(snap *graph.Snapshot, roots []int32, dirty map[
 	}
 	var accs []*deltaAcc
 	isomorph.EnumerateSnapshotWorkers(snap, d.p,
-		isomorph.Options{Parallelism: d.opts.Parallelism, RootIndexes: roots},
+		isomorph.Options{
+			Parallelism:    d.opts.Parallelism,
+			RootIndexes:    roots,
+			DisablePlanner: d.opts.DisablePlanner,
+			DisableKernels: d.opts.DisableKernels,
+		},
 		func(int) func(*isomorph.Occurrence) bool {
 			a := &deltaAcc{
 				counts: make([]map[graph.VertexID]int, len(d.nodes)),

@@ -54,6 +54,12 @@ type Snapshot struct {
 	labelMu sync.Mutex
 	byLabel atomic.Pointer[map[Label][]int32]
 
+	// adjBits is the lazily built table of high-degree adjacency bitmap rows
+	// (see AdjacencyRow), behind an atomic pointer under the same discipline
+	// as byLabel.
+	bitsMu  sync.Mutex
+	adjBits atomic.Pointer[adjacencyBitsets]
+
 	// backing receives residency hints for shards whose arrays live outside
 	// the Go heap (see NewExternalSnapshot); nil for heap snapshots.
 	backing ShardBacking
@@ -404,6 +410,9 @@ func (s *Snapshot) withName(name string) *Snapshot {
 	if bl := s.byLabel.Load(); bl != nil {
 		c.byLabel.Store(bl)
 	}
+	if bs := s.adjBits.Load(); bs != nil {
+		c.adjBits.Store(bs)
+	}
 	return c
 }
 
@@ -654,6 +663,15 @@ func (s *Snapshot) ShardRange(k int) (lo, hi int32) {
 // modify it.
 func (s *Snapshot) ShardIndexesWithLabel(k int, l Label) []int32 {
 	return s.shards[k].byLabel[l]
+}
+
+// ShardVertexIDs returns shard k's dense-index→VertexID translation as a
+// shared slice: entry j is the VertexID of global dense index lo+j, where
+// [lo, _) is the shard's ShardRange. Callers must not modify it. Hot
+// consumers translating many indexes of one shard (the enumeration emit
+// path) use it to skip the per-call shard routing of ID.
+func (s *Snapshot) ShardVertexIDs(k int) []VertexID {
+	return s.shards[k].ids
 }
 
 // ID returns the VertexID of dense index i.

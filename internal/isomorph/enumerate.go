@@ -13,9 +13,14 @@ import (
 type Options struct {
 	// MaxOccurrences stops enumeration once this many occurrences have been
 	// found; zero means unlimited. Mining with a threshold t can set this to
-	// a small multiple of t to bound work on very frequent patterns. A
-	// positive cap forces sequential enumeration so that exactly the first
-	// MaxOccurrences occurrences of the deterministic search order are kept.
+	// a small multiple of t to bound work on very frequent patterns. The cap
+	// no longer forces sequential enumeration: parallel workers share one
+	// atomic budget, so exactly MaxOccurrences occurrences are delivered in
+	// total, but WHICH ones depends on worker interleaving. Enumerate (and
+	// the capped core contexts built on it) still pins a positive cap to the
+	// sequential path, preserving the documented deterministic-prefix
+	// semantics; streaming callers that want that guarantee alongside a cap
+	// should set Parallelism to 1.
 	MaxOccurrences int
 	// Parallelism is the number of worker goroutines the enumeration engine
 	// partitions root candidates across. Zero picks GOMAXPROCS (falling back
@@ -48,16 +53,36 @@ type Options struct {
 	//
 	// Dense indexes are snapshot-specific, so RootIndexes is only meaningful
 	// with the EnumerateSnapshot* entry points that pin the snapshot the
-	// indexes were computed against.
+	// indexes were computed against. Note that the first pattern node of the
+	// search order is chosen per (snapshot, pattern) by the search-order
+	// planner; restrictions that must cover every possible root (such as the
+	// mutation ball of incremental delta maintenance, which contains all
+	// images of every affected occurrence) are insensitive to that choice.
 	RootIndexes []int32
+	// DisablePlanner opts out of the data-aware search-order planner and
+	// falls back to the pattern-only heuristic order (see planner.go). The
+	// enumerated occurrence set is identical either way; the knob exists for
+	// A/B benchmarking and as an escape hatch.
+	DisablePlanner bool
+	// DisableKernels opts out of the inner-loop intersection kernels
+	// (memoized candidate runs, galloping anchor intersection, high-degree
+	// adjacency bitsets; see kernels.go) and uses plain seed-and-probe
+	// matching. The enumerated occurrence set is identical either way.
+	DisableKernels bool
+
+	// reuseOccurrence switches emit to a single per-worker Occurrence that
+	// is overwritten in place on every yield, eliminating the per-occurrence
+	// arena allocations (and the GC write-barrier traffic they cause) for
+	// consumers that copy what they need before returning. Package-internal:
+	// only Enumerate and Count set it — their consumers never retain the
+	// yielded pointer — while the exported streaming entry points keep the
+	// documented retainable-occurrence contract.
+	reuseOccurrence bool
 }
 
 // workers resolves the effective worker count for a search with the given
 // number of root candidates on a data graph with n vertices.
 func (o Options) workers(roots, n int) int {
-	if o.MaxOccurrences > 0 {
-		return 1
-	}
 	w := o.Parallelism
 	if w <= 0 {
 		// Auto mode: parallelism is not worth goroutine startup on tiny
@@ -93,6 +118,17 @@ type searchPlan struct {
 	// neighbor of the depth-d candidate.
 	anchors [][]int
 
+	// kernels enables the inner-loop intersection kernels (see kernels.go).
+	kernels bool
+	// reuse carries Options.reuseOccurrence to the per-worker states.
+	reuse bool
+	// slotOf[d] is the memoized-run slot serving depth d, or -1 when the
+	// depth is not single-anchor (or kernels are off). Depths whose
+	// (anchor depth, label, minDeg) constraint key coincides share a slot,
+	// so a star's leaf depths pay one filter pass per anchor assignment.
+	slotOf   []int
+	numSlots int
+
 	// rootsByShard holds the label- and degree-pruned root candidates of each
 	// non-empty snapshot shard, in ascending shard (and therefore global
 	// index) order. Keeping the partition shard-first lets parallel workers
@@ -110,45 +146,48 @@ type searchPlan struct {
 }
 
 // newSearchPlan compiles the matching order of p against the given frozen
-// snapshot. It returns nil when the pattern cannot occur at all (empty
-// pattern, a label absent from the data graph, or an empty root restriction).
+// snapshot — the data-aware planned order by default (see planner.go) — and
+// precomputes the per-depth constraint data and kernel slots. It returns nil
+// when the pattern cannot occur at all (empty pattern, a label absent from
+// the data graph, or an empty root restriction).
 func newSearchPlan(snap *graph.Snapshot, p *pattern.Pattern, opts Options) *searchPlan {
-	order := searchOrder(p)
+	m := newPatternModel(p)
+	order, _ := chooseOrder(snap, m, opts)
 	if len(order) == 0 {
 		return nil
 	}
-	nodes := p.Nodes()
-	posOf := make(map[pattern.NodeID]int, len(nodes))
-	for i, n := range nodes {
-		posOf[n] = i
-	}
 	pl := &searchPlan{
 		snap:    snap,
-		nodes:   nodes,
-		k:       len(nodes),
-		slot:    make([]int, len(order)),
+		nodes:   m.nodes,
+		k:       len(m.nodes),
+		slot:    order,
 		label:   make([]graph.Label, len(order)),
 		minDeg:  make([]int, len(order)),
 		anchors: make([][]int, len(order)),
+		kernels: !opts.DisableKernels,
+		reuse:   opts.reuseOccurrence,
 	}
-	depthOf := make(map[pattern.NodeID]int, len(order))
-	pg := p.Graph()
-	for d, n := range order {
-		pl.slot[d] = posOf[n]
-		pl.label[d] = p.LabelOf(n)
-		pl.minDeg[d] = pg.Degree(n)
-		for _, nb := range pg.Neighbors(n) {
-			if ad, ok := depthOf[nb]; ok {
+	// depthOf[i]: search depth of pattern position i, -1 until ordered.
+	depthOf := make([]int, pl.k)
+	for i := range depthOf {
+		depthOf[i] = -1
+	}
+	for d, i := range order {
+		pl.label[d] = m.labels[i]
+		pl.minDeg[d] = m.deg[i]
+		for _, nb := range m.adj[i] {
+			if ad := depthOf[nb]; ad >= 0 {
 				pl.anchors[d] = append(pl.anchors[d], ad)
 			}
 		}
-		depthOf[n] = d
+		depthOf[i] = d
 	}
+	pl.assignSlots()
 
 	for s := 0; s < snap.NumShards(); s++ {
 		candidates := snap.ShardIndexesWithLabel(s, pl.label[0])
 		if opts.RootIndexes != nil {
-			candidates = intersectSorted(candidates, opts.RootIndexes)
+			candidates = gallopIntersect(candidates, opts.RootIndexes, nil)
 		}
 		var roots []int32
 		for _, c := range candidates {
@@ -168,24 +207,37 @@ func newSearchPlan(snap *graph.Snapshot, p *pattern.Pattern, opts Options) *sear
 	return pl
 }
 
-// intersectSorted returns the values present in both sorted ascending int32
-// slices, allocating only when the intersection is non-empty.
-func intersectSorted(a, b []int32) []int32 {
-	var out []int32
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
+// assignSlots gives every single-anchor depth a memoized-run slot, sharing
+// slots between depths whose (anchor depth, label, minDeg) key coincides.
+// The key count is at most the pattern size, so a linear scan suffices.
+func (pl *searchPlan) assignSlots() {
+	type slotKey struct {
+		anchor int
+		label  graph.Label
+		minDeg int
 	}
-	return out
+	var keys []slotKey
+	pl.slotOf = make([]int, pl.k)
+	for d := range pl.slotOf {
+		pl.slotOf[d] = -1
+		if !pl.kernels || d == 0 || len(pl.anchors[d]) != 1 {
+			continue
+		}
+		key := slotKey{pl.anchors[d][0], pl.label[d], pl.minDeg[d]}
+		idx := -1
+		for j, k := range keys {
+			if k == key {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			idx = len(keys)
+			keys = append(keys, key)
+		}
+		pl.slotOf[d] = idx
+	}
+	pl.numSlots = len(keys)
 }
 
 // searchState is the per-worker mutable state of the backtracking search.
@@ -196,6 +248,21 @@ type searchState struct {
 	yield  func(*Occurrence) bool
 	stop   *atomic.Bool // shared cancellation flag; nil in sequential mode
 
+	// slots holds the memoized single-anchor candidate runs (see kernels.go);
+	// scratch[d] is depth d's reusable buffer for multi-anchor galloping
+	// intersections. Both are worker-local, so the kernels stay allocation-
+	// free after warmup.
+	slots   []runSlot
+	scratch [][]int32
+
+	// ids is the single-shard dense-index→VertexID translation, hoisted out
+	// of the emit loop when the snapshot has exactly one shard; nil
+	// otherwise (emit falls back to Snapshot.ID).
+	ids []graph.VertexID
+	// reuse, when non-nil, is the one Occurrence emit overwrites in place
+	// instead of drawing from the arenas (Options.reuseOccurrence).
+	reuse *Occurrence
+
 	// Per-worker arenas amortize the two allocations behind every emitted
 	// occurrence (the Occurrence struct and its image slice) into large
 	// chunks, keeping the hot emit path almost allocation-free.
@@ -204,13 +271,32 @@ type searchState struct {
 }
 
 func newSearchState(pl *searchPlan, yield func(*Occurrence) bool, stop *atomic.Bool) *searchState {
-	return &searchState{
+	st := &searchState{
 		pl:     pl,
 		assign: make([]int32, pl.k),
 		used:   make([]bool, pl.snap.NumVertices()),
 		yield:  yield,
 		stop:   stop,
 	}
+	if pl.numSlots > 0 {
+		st.slots = make([]runSlot, pl.numSlots)
+		for i := range st.slots {
+			st.slots[i].anchor = -1
+		}
+	}
+	if pl.kernels {
+		st.scratch = make([][]int32, pl.k)
+	}
+	if pl.snap.NumShards() == 1 {
+		st.ids = pl.snap.ShardVertexIDs(0)
+	}
+	if pl.reuse {
+		st.reuse = &Occurrence{
+			nodes:  pl.nodes,
+			images: make([]graph.VertexID, pl.k),
+		}
+	}
+	return st
 }
 
 // searchRoot explores the full subtree rooted at candidate r. It returns true
@@ -224,7 +310,12 @@ func (s *searchState) searchRoot(r int32) bool {
 	return halt
 }
 
-// search extends the partial assignment at the given depth.
+// search extends the partial assignment at the given depth. Depending on the
+// plan it runs one of three candidate loops: the memoized single-anchor run
+// (kernels, one anchor), the galloping two-anchor intersection (kernels, two
+// or more anchors), or the plain seed-and-probe scan (kernels disabled).
+// All three visit candidates in ascending dense-index order, so the
+// sequential emission order is the same for a given search order.
 func (s *searchState) search(depth int) bool {
 	if s.stop != nil && s.stop.Load() {
 		return true
@@ -237,6 +328,36 @@ func (s *searchState) search(depth int) bool {
 	anchors := pl.anchors[depth]
 	label := pl.label[depth]
 	minDeg := pl.minDeg[depth]
+
+	if slot := pl.slotOf[depth]; slot >= 0 {
+		// Kernel path, single anchor: iterate the anchor assignment's
+		// memoized label+degree filtered run; only used[] is dynamic. The
+		// run is recomputed when the anchor depth is reassigned, which can
+		// only happen after every loop over the run has unwound, so sibling
+		// depths sharing the slot read it safely.
+		sl := &s.slots[slot]
+		if av := s.assign[anchors[0]]; sl.anchor != av {
+			sl.run = filterRun(snap, snap.NeighborsAt(av), label, minDeg, sl.run[:0])
+			sl.anchor = av
+		}
+		for _, c := range sl.run {
+			if s.used[c] {
+				continue
+			}
+			s.assign[depth] = c
+			s.used[c] = true
+			halt := s.search(depth + 1)
+			s.used[c] = false
+			if halt {
+				return true
+			}
+		}
+		return false
+	}
+
+	if pl.kernels && len(anchors) >= 2 {
+		return s.searchGallop(depth, anchors, label, minDeg)
+	}
 
 	// Seed candidates from the anchor whose assigned data vertex has the
 	// smallest degree, then verify adjacency against the remaining anchors.
@@ -273,26 +394,106 @@ candidateLoop:
 	return false
 }
 
+// searchGallop is the multi-anchor kernel: intersect the two smallest-degree
+// anchors' sorted neighbor runs by galloping binary search, filter the
+// (typically tiny) intersection by the static constraints, and verify any
+// remaining anchors through the snapshot's high-degree adjacency bitsets
+// when available.
+func (s *searchState) searchGallop(depth int, anchors []int, label graph.Label, minDeg int) bool {
+	snap := s.pl.snap
+	// Find the two anchors with the smallest assigned-vertex degrees.
+	a1, a2 := anchors[0], anchors[1]
+	if snap.DegreeAt(s.assign[a2]) < snap.DegreeAt(s.assign[a1]) {
+		a1, a2 = a2, a1
+	}
+	for _, a := range anchors[2:] {
+		switch d := snap.DegreeAt(s.assign[a]); {
+		case d < snap.DegreeAt(s.assign[a1]):
+			a1, a2 = a, a1
+		case d < snap.DegreeAt(s.assign[a2]):
+			a2 = a
+		}
+	}
+	run := gallopIntersect(snap.NeighborsAt(s.assign[a1]), snap.NeighborsAt(s.assign[a2]), s.scratch[depth][:0])
+	s.scratch[depth] = run // keep the grown capacity for the next visit
+
+	// Residual anchors are verified per candidate; hoist their bitmap rows
+	// (nil for low-degree assignments) out of the loop.
+	type residual struct {
+		v    int32
+		bits graph.AdjacencyBits
+	}
+	var resBuf [4]residual
+	res := resBuf[:0]
+	for _, a := range anchors {
+		if a == a1 || a == a2 {
+			continue
+		}
+		v := s.assign[a]
+		res = append(res, residual{v, snap.AdjacencyRow(v)})
+	}
+
+candidateLoop:
+	for _, c := range run {
+		if s.used[c] || snap.LabelAt(c) != label || snap.DegreeAt(c) < minDeg {
+			continue
+		}
+		for _, r := range res {
+			if r.bits != nil {
+				if !r.bits.Contains(c) {
+					continue candidateLoop
+				}
+			} else if !snap.HasEdgeAt(c, r.v) {
+				continue candidateLoop
+			}
+		}
+		s.assign[depth] = c
+		s.used[c] = true
+		halt := s.search(depth + 1)
+		s.used[c] = false
+		if halt {
+			return true
+		}
+	}
+	return false
+}
+
 // emit materializes the current full assignment as an Occurrence and hands it
-// to the consumer. It returns the consumer's continue/stop decision.
+// to the consumer. It returns the consumer's continue/stop decision. In
+// reuse mode (Options.reuseOccurrence) the same Occurrence is overwritten in
+// place on every call; otherwise each occurrence draws fresh storage from the
+// per-worker arenas and stays valid after the consumer returns.
 func (s *searchState) emit() bool {
 	pl := s.pl
-	const arenaChunk = 1024
-	if len(s.imageArena) < pl.k {
-		s.imageArena = make([]graph.VertexID, arenaChunk*pl.k)
+	var images []graph.VertexID
+	var o *Occurrence
+	if s.reuse != nil {
+		o = s.reuse
+		images = o.images
+	} else {
+		const arenaChunk = 1024
+		if len(s.imageArena) < pl.k {
+			s.imageArena = make([]graph.VertexID, arenaChunk*pl.k)
+		}
+		images = s.imageArena[:pl.k:pl.k]
+		s.imageArena = s.imageArena[pl.k:]
+		if len(s.occArena) == 0 {
+			s.occArena = make([]Occurrence, arenaChunk)
+		}
+		o = &s.occArena[0]
+		s.occArena = s.occArena[1:]
+		o.nodes = pl.nodes
+		o.images = images
 	}
-	images := s.imageArena[:pl.k:pl.k]
-	s.imageArena = s.imageArena[pl.k:]
-	for d := 0; d < pl.k; d++ {
-		images[pl.slot[d]] = pl.snap.ID(s.assign[d])
+	if ids := s.ids; ids != nil {
+		for d := 0; d < pl.k; d++ {
+			images[pl.slot[d]] = ids[s.assign[d]]
+		}
+	} else {
+		for d := 0; d < pl.k; d++ {
+			images[pl.slot[d]] = pl.snap.ID(s.assign[d])
+		}
 	}
-	if len(s.occArena) == 0 {
-		s.occArena = make([]Occurrence, arenaChunk)
-	}
-	o := &s.occArena[0]
-	s.occArena = s.occArena[1:]
-	o.nodes = pl.nodes
-	o.images = images
 	return s.yield(o)
 }
 
@@ -308,9 +509,10 @@ func (s *searchState) emit() bool {
 // the returned consumer is then called from that worker's goroutine only, so
 // consumers may accumulate into unsynchronized worker-local state. Returning
 // false from any consumer stops all workers. With an effective parallelism of
-// one (Options.Parallelism == 1, a positive MaxOccurrences cap, or a tiny
-// input in auto mode) everything runs on the calling goroutine in the
-// deterministic sequential search order.
+// one (Options.Parallelism == 1, or a tiny input in auto mode) everything
+// runs on the calling goroutine in the deterministic sequential search order;
+// a positive MaxOccurrences cap no longer forces that path — parallel workers
+// share an atomic occurrence budget instead.
 func EnumerateWorkers(g *graph.Graph, p *pattern.Pattern, opts Options, newYield func(worker int) func(*Occurrence) bool) {
 	EnumerateSnapshotWorkers(g.FreezeSharded(graph.FreezeOptions{Shards: opts.Shards}), p, opts, newYield)
 }
@@ -360,11 +562,23 @@ func EnumerateSnapshotWorkers(snap *graph.Snapshot, p *pattern.Pattern, opts Opt
 	)
 	cursors := make([]int64, len(pl.rootsByShard))
 	numShards := len(pl.rootsByShard)
+	// A positive cap becomes a budget shared by all workers: each delivery
+	// draws one token, a worker whose draw fails stops without delivering,
+	// and the drain loop's stop flag fans the halt out to the others. Exactly
+	// MaxOccurrences occurrences are delivered in total.
+	var budget *atomic.Int64
+	if opts.MaxOccurrences > 0 {
+		budget = new(atomic.Int64)
+		budget.Store(int64(opts.MaxOccurrences))
+	}
 	// All consumers are created before any worker starts, so newYield may
 	// safely grow shared registries without synchronization.
 	yields := make([]func(*Occurrence) bool, workers)
 	for w := range yields {
 		yields[w] = newYield(w)
+		if budget != nil {
+			yields[w] = budgetYield(yields[w], budget)
+		}
 	}
 	for w := 0; w < workers; w++ {
 		yield := yields[w]
@@ -418,6 +632,24 @@ func capYield(yield func(*Occurrence) bool, max int) func(*Occurrence) bool {
 	}
 }
 
+// budgetYield wraps one worker's consumer around the shared occurrence
+// budget: a delivery first draws a token, and a failed draw stops the worker
+// without delivering. The worker that draws the last token also stops, so
+// across all workers exactly the budgeted number of occurrences is
+// delivered.
+func budgetYield(yield func(*Occurrence) bool, budget *atomic.Int64) func(*Occurrence) bool {
+	return func(o *Occurrence) bool {
+		n := budget.Add(-1)
+		if n < 0 {
+			return false
+		}
+		if !yield(o) {
+			return false
+		}
+		return n > 0
+	}
+}
+
 // EnumerateFunc streams every occurrence of pattern p in data graph g to
 // yield, stopping early when yield returns false. When the effective
 // parallelism is above one, yield is called concurrently from multiple worker
@@ -431,21 +663,75 @@ func EnumerateFunc(g *graph.Graph, p *pattern.Pattern, opts Options, yield func(
 // canonical deterministic order (see SortOccurrences). It is a thin
 // materializing wrapper around the streaming engine: per-worker occurrence
 // buckets are sorted concurrently and merged, so the result is identical for
-// every Parallelism setting.
+// every Parallelism setting. A positive MaxOccurrences pins the run to the
+// sequential path so that exactly the first MaxOccurrences occurrences of
+// the deterministic search order are returned (the parallel budget keeps the
+// count exact but not which occurrences survive).
 func Enumerate(g *graph.Graph, p *pattern.Pattern, opts Options) []*Occurrence {
-	type bucket struct{ occs []*Occurrence }
+	return EnumerateSnapshot(g.FreezeSharded(graph.FreezeOptions{Shards: opts.Shards}), p, opts)
+}
+
+// EnumerateSnapshot is Enumerate pinned to an explicit frozen snapshot: the
+// same chunked, pointer-free materialization runs over snap directly, so
+// store-backed (mmapped) snapshots and pre-frozen in-memory snapshots are
+// timed and tested through the identical code path as Enumerate itself.
+func EnumerateSnapshot(snap *graph.Snapshot, p *pattern.Pattern, opts Options) []*Occurrence {
+	if opts.MaxOccurrences > 0 {
+		opts.Parallelism = 1
+	}
+	// Accumulate each worker's stream as pointer-free image chunks (the
+	// engine reuses one Occurrence per worker, so images are copied out) and
+	// materialize the Occurrence structs afterwards in one exact-size pass.
+	// Compared to appending per-occurrence pointers this removes all GC
+	// write-barrier traffic from the hot consumer and all per-occurrence
+	// arena churn from emit. The chunks have a fixed capacity and are never
+	// regrown: repeatedly re-growing one flat log would allocate ~5x the
+	// final size in copies (Go grows large slices by 1.25x), and on a busy
+	// heap that garbage alone forces extra collection cycles mid-run.
+	opts.reuseOccurrence = true
+	const chunkOccs = 4096 // occurrences per image chunk
+	type bucket struct {
+		chunks [][]graph.VertexID
+		nodes  []pattern.NodeID
+		k      int // images per occurrence
+		n      int // total occurrences
+	}
 	var buckets []*bucket
-	EnumerateWorkers(g, p, opts, func(int) func(*Occurrence) bool {
+	EnumerateSnapshotWorkers(snap, p, opts, func(int) func(*Occurrence) bool {
 		b := &bucket{}
 		buckets = append(buckets, b)
 		return func(o *Occurrence) bool {
-			b.occs = append(b.occs, o)
+			if b.nodes == nil {
+				b.nodes = o.nodes
+				b.k = len(o.images)
+			}
+			cur := len(b.chunks) - 1
+			if cur < 0 || len(b.chunks[cur])+b.k > cap(b.chunks[cur]) {
+				b.chunks = append(b.chunks, make([]graph.VertexID, 0, chunkOccs*b.k))
+				cur++
+			}
+			b.chunks[cur] = append(b.chunks[cur], o.images...)
+			b.n++
 			return true
 		}
 	})
 	slices := make([][]*Occurrence, len(buckets))
 	for i, b := range buckets {
-		slices[i] = b.occs
+		if b.k == 0 {
+			continue
+		}
+		occs := make([]Occurrence, b.n)
+		ptrs := make([]*Occurrence, b.n)
+		j := 0
+		for _, c := range b.chunks {
+			for off := 0; off < len(c); off += b.k {
+				occs[j].nodes = b.nodes
+				occs[j].images = c[off : off+b.k : off+b.k]
+				ptrs[j] = &occs[j]
+				j++
+			}
+		}
+		slices[i] = ptrs
 	}
 	return MergeSortedOccurrences(slices)
 }
@@ -534,7 +820,7 @@ func nonEmpty(buckets [][]*Occurrence) [][]*Occurrence {
 // them.
 func Count(g *graph.Graph, p *pattern.Pattern) int {
 	var counts []*int64
-	EnumerateWorkers(g, p, Options{}, func(int) func(*Occurrence) bool {
+	EnumerateWorkers(g, p, Options{reuseOccurrence: true}, func(int) func(*Occurrence) bool {
 		n := new(int64)
 		counts = append(counts, n)
 		return func(*Occurrence) bool {
@@ -547,50 +833,4 @@ func Count(g *graph.Graph, p *pattern.Pattern) int {
 		total += *n
 	}
 	return int(total)
-}
-
-// searchOrder returns pattern nodes in an order where every node after the
-// first is adjacent to at least one earlier node (a connected search order),
-// preferring rarer labels and higher degrees first to shrink the search tree.
-func searchOrder(p *pattern.Pattern) []pattern.NodeID {
-	nodes := p.Nodes()
-	if len(nodes) == 0 {
-		return nil
-	}
-	g := p.Graph()
-
-	// Start from the node with the highest degree (ties broken by smaller
-	// label then ID) and grow a connected ordering greedily.
-	start := nodes[0]
-	for _, n := range nodes {
-		dn, ds := g.Degree(n), g.Degree(start)
-		if dn > ds || (dn == ds && (p.LabelOf(n) < p.LabelOf(start) || (p.LabelOf(n) == p.LabelOf(start) && n < start))) {
-			start = n
-		}
-	}
-
-	order := []pattern.NodeID{start}
-	inOrder := map[pattern.NodeID]bool{start: true}
-	for len(order) < len(nodes) {
-		// Choose the unmatched node with the most already-ordered neighbors.
-		var best pattern.NodeID
-		bestScore := -1
-		for _, n := range nodes {
-			if inOrder[n] {
-				continue
-			}
-			score := 0
-			for _, nb := range g.Neighbors(n) {
-				if inOrder[nb] {
-					score++
-				}
-			}
-			if score > bestScore || (score == bestScore && n < best) {
-				best, bestScore = n, score
-			}
-		}
-		order = append(order, best)
-		inOrder[best] = true
-	}
-	return order
 }

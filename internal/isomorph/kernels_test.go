@@ -1,0 +1,135 @@
+package isomorph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// naiveIntersect is the reference two-pointer intersection gallopIntersect is
+// checked against.
+func naiveIntersect(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func TestGallopIntersect(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []int32
+	}{
+		{"both-empty", nil, nil},
+		{"left-empty", nil, []int32{1, 2, 3}},
+		{"right-empty", []int32{1, 2, 3}, nil},
+		{"disjoint-interleaved", []int32{1, 3, 5, 7}, []int32{0, 2, 4, 6, 8}},
+		{"disjoint-ranges", []int32{1, 2, 3}, []int32{10, 11, 12}},
+		{"identical", []int32{2, 4, 6, 8}, []int32{2, 4, 6, 8}},
+		{"subset", []int32{4, 8}, []int32{2, 4, 6, 8, 10}},
+		{"single-match-at-end", []int32{9}, []int32{1, 2, 3, 9}},
+		{"single-match-at-start", []int32{1}, []int32{1, 5, 9}},
+		{"skewed-short-vs-long", []int32{100, 5000, 9999}, longRun(10000)},
+		{"short-exhausts-long", []int32{1, 2, 3, 50}, []int32{2, 3}},
+	}
+	for _, c := range cases {
+		want := naiveIntersect(c.a, c.b)
+		got := gallopIntersect(c.a, c.b, nil)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%s: gallopIntersect = %v, want %v", c.name, got, want)
+		}
+		// Symmetry: the kernel swaps internally, the result must not depend
+		// on argument order.
+		if got := gallopIntersect(c.b, c.a, nil); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%s (swapped): gallopIntersect = %v, want %v", c.name, got, want)
+		}
+	}
+}
+
+// TestGallopIntersectAppendsToDst pins the append contract: existing dst
+// content is preserved and extended in place when capacity allows.
+func TestGallopIntersectAppendsToDst(t *testing.T) {
+	dst := make([]int32, 1, 8)
+	dst[0] = -1
+	got := gallopIntersect([]int32{1, 2, 3}, []int32{2, 3, 4}, dst)
+	if fmt.Sprint(got) != fmt.Sprint([]int32{-1, 2, 3}) {
+		t.Fatalf("gallopIntersect with non-empty dst = %v, want [-1 2 3]", got)
+	}
+	if &got[0] != &dst[0] {
+		t.Fatal("gallopIntersect reallocated despite sufficient dst capacity")
+	}
+}
+
+// TestGallopIntersectRandomized cross-checks the kernel against the
+// two-pointer reference on random sorted duplicate-free runs of skewed
+// relative sizes — the regime the galloping search is tuned for.
+func TestGallopIntersectRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		a := randomRun(rng, 1+rng.Intn(30), 200)
+		b := randomRun(rng, 1+rng.Intn(2000), 4000)
+		want := naiveIntersect(a, b)
+		got := gallopIntersect(a, b, nil)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("trial %d: gallopIntersect = %v, want %v (a=%v b=%v)", trial, got, want, a, b)
+		}
+	}
+}
+
+// longRun returns [0, n) as a sorted run.
+func longRun(n int32) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// randomRun returns a sorted duplicate-free random subset of [0, universe).
+func randomRun(rng *rand.Rand, size, universe int) []int32 {
+	seen := make(map[int32]bool, size)
+	for len(seen) < size {
+		seen[int32(rng.Intn(universe))] = true
+	}
+	out := make([]int32, 0, len(seen))
+	for v := int32(0); v < int32(universe); v++ {
+		if seen[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func BenchmarkGallopIntersectSkewed(b *testing.B) {
+	short := []int32{10, 5000, 9000, 9990}
+	long := longRun(10000)
+	dst := make([]int32, 0, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = gallopIntersect(short, long, dst[:0])
+	}
+}
+
+func BenchmarkGallopIntersectBalanced(b *testing.B) {
+	x := longRun(1024)
+	y := make([]int32, 0, 512)
+	for i := int32(0); i < 1024; i += 2 {
+		y = append(y, i)
+	}
+	dst := make([]int32, 0, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = gallopIntersect(x, y, dst[:0])
+	}
+}

@@ -158,12 +158,18 @@ func (o *Occurrence) Compare(q *Occurrence) int {
 		}
 		return 1
 	}
-	for i := range o.nodes {
-		if o.nodes[i] != q.nodes[i] {
-			if o.nodes[i] < q.nodes[i] {
-				return -1
+	// Occurrences streamed out of one enumeration all share the search
+	// plan's node slice; recognizing that by pointer identity skips the
+	// element-wise node comparison, which roughly halves the cost of the
+	// canonical sort behind Enumerate.
+	if len(o.nodes) == 0 || &o.nodes[0] != &q.nodes[0] {
+		for i := range o.nodes {
+			if o.nodes[i] != q.nodes[i] {
+				if o.nodes[i] < q.nodes[i] {
+					return -1
+				}
+				return 1
 			}
-			return 1
 		}
 	}
 	for i := range o.images {
@@ -180,7 +186,20 @@ func (o *Occurrence) Compare(q *Occurrence) int {
 // SortOccurrences sorts occurrences into the canonical deterministic order
 // (numeric comparison of node and image lists; see Compare). The comparison
 // avoids materializing string keys, which matters when millions of
-// occurrences stream out of the parallel enumeration engine.
+// occurrences stream out of the parallel enumeration engine. An O(n) prescan
+// recognizes already-ordered input — the common case for the sequential
+// engine, whose emission order coincides with the canonical order whenever
+// the search order matches the sorted node order — and skips the sort.
 func SortOccurrences(occs []*Occurrence) {
+	sorted := true
+	for i := 1; i < len(occs); i++ {
+		if occs[i-1].Compare(occs[i]) > 0 {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
 	sort.Slice(occs, func(i, j int) bool { return occs[i].Compare(occs[j]) < 0 })
 }

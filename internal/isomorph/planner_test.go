@@ -1,0 +1,244 @@
+package isomorph_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/pattern"
+	"repro/internal/store"
+)
+
+// plannerConfigs are the A/B corners of the search-order planner and the
+// intersection kernels; every corner must enumerate the identical sequence.
+var plannerConfigs = []struct {
+	name                           string
+	disablePlanner, disableKernels bool
+}{
+	{"naive", true, true},
+	{"planner-only", false, true},
+	{"kernels-only", true, false},
+	{"planner+kernels", false, false},
+}
+
+// TestPlannedMatchesNaive pins the tentpole acceptance contract: for every
+// planner/kernel A/B corner, shard count in {1, 2, 7} and parallelism in
+// {1, 4}, Enumerate returns the byte-identical occurrence sequence on
+// workloads whose label distributions push the planner both ways (uniform
+// labels keep the naive order, skewed labels re-root the search). Run under
+// -race this also exercises the kernels' lazily built shared state.
+func TestPlannedMatchesNaive(t *testing.T) {
+	workloads := []struct {
+		name string
+		g    *graph.Graph
+		p    *pattern.Pattern
+	}{
+		{"ba-star", gen.BarabasiAlbert(400, 3, gen.UniformLabels{K: 2}, 7), starPattern()},
+		{"ba-zipf-triangle", gen.BarabasiAlbert(400, 3, gen.ZipfLabels{K: 4, Exponent: 1.5}, 8), trianglePattern(1)},
+		{"er-star", gen.ErdosRenyi(300, 0.02, gen.UniformLabels{K: 3}, 9), starPattern()},
+	}
+	for _, wl := range workloads {
+		var want []string
+		for _, shards := range []int{1, 2, 7} {
+			for _, par := range []int{1, 4} {
+				for _, c := range plannerConfigs {
+					opts := isomorph.Options{
+						Parallelism:    par,
+						Shards:         shards,
+						DisablePlanner: c.disablePlanner,
+						DisableKernels: c.disableKernels,
+					}
+					got := occurrenceKeys(isomorph.Enumerate(wl.g, wl.p, opts))
+					if want == nil {
+						want = got
+						if len(want) == 0 {
+							t.Fatalf("%s: no occurrences; workload is vacuous", wl.name)
+						}
+						continue
+					}
+					if len(got) != len(want) {
+						t.Fatalf("%s shards=%d par=%d %s: %d occurrences, want %d",
+							wl.name, shards, par, c.name, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("%s shards=%d par=%d %s: occurrence %d = %s, want %s",
+								wl.name, shards, par, c.name, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlannedMatchesNaiveStoreSnapshot repeats the A/B identity over an
+// mmap-backed store snapshot: the kernels read neighbor runs straight out of
+// mapped segment bytes, so the identity must survive the out-of-core path
+// (including lazily built adjacency bitsets over mapped CSR rows).
+func TestPlannedMatchesNaiveStoreSnapshot(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, gen.UniformLabels{K: 2}, 11)
+	p := starPattern()
+	dir := t.TempDir()
+	if err := store.Write(g.FreezeSharded(graph.FreezeOptions{Shards: 4}), dir); err != nil {
+		t.Fatalf("writing store: %v", err)
+	}
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("opening store: %v", err)
+	}
+	defer st.Close()
+	snap := st.Snapshot()
+	var want []string
+	for _, par := range []int{1, 4} {
+		for _, c := range plannerConfigs {
+			opts := isomorph.Options{
+				Parallelism:    par,
+				DisablePlanner: c.disablePlanner,
+				DisableKernels: c.disableKernels,
+			}
+			got := occurrenceKeys(collectSnapshot(snap, p, opts))
+			if want == nil {
+				want = got
+				if len(want) == 0 {
+					t.Fatal("no occurrences; workload is vacuous")
+				}
+				continue
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("par=%d %s: store-backed enumeration diverged from naive", par, c.name)
+			}
+		}
+	}
+}
+
+// TestPlannedMatchesNaiveRootRestricted pins the planner's interaction with
+// Options.RootIndexes: the restriction applies to whichever pattern node the
+// chosen order roots, so with a full-range restriction every A/B corner must
+// still enumerate the identical complete sequence.
+func TestPlannedMatchesNaiveRootRestricted(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, gen.UniformLabels{K: 2}, 12)
+	p := starPattern()
+	snap := g.FreezeSharded(graph.FreezeOptions{Shards: 2})
+	all := make([]int32, snap.NumVertices())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	var want []string
+	for _, c := range plannerConfigs {
+		opts := isomorph.Options{
+			Parallelism:    1,
+			RootIndexes:    all,
+			DisablePlanner: c.disablePlanner,
+			DisableKernels: c.disableKernels,
+		}
+		got := occurrenceKeys(collectSnapshot(snap, p, opts))
+		if want == nil {
+			want = got
+			if len(want) == 0 {
+				t.Fatal("no occurrences; workload is vacuous")
+			}
+			continue
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("%s: root-restricted enumeration diverged from naive", c.name)
+		}
+	}
+}
+
+// TestExplainDeterministic pins plan stability: the planner consults only
+// immutable snapshot statistics, so repeated Explain calls for the same
+// (snapshot, pattern, options) must return the identical plan.
+func TestExplainDeterministic(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, gen.UniformLabels{K: 3}, 13)
+	p := starPattern()
+	snap := g.Freeze()
+	want := isomorph.Explain(snap, p, isomorph.Options{}).String()
+	for i := 0; i < 5; i++ {
+		if got := isomorph.Explain(snap, p, isomorph.Options{}).String(); got != want {
+			t.Fatalf("Explain call %d differs:\n%s\nwant:\n%s", i, got, want)
+		}
+	}
+}
+
+// TestExplainPrefersRareLabelRoot checks the planner's reason for existing:
+// on a graph where one label is much rarer than the others, the search is
+// rooted at a pattern node carrying the rare label rather than at the naive
+// highest-degree node.
+func TestExplainPrefersRareLabelRoot(t *testing.T) {
+	// 200 label-1 vertices, 5 label-2 vertices; a star centered on label 1
+	// with one label-2 leaf should root at the rare leaf.
+	b := graph.NewBuilder("skewed")
+	for i := 0; i < 200; i++ {
+		b.Vertex(graph.VertexID(i), 1)
+	}
+	for i := 200; i < 205; i++ {
+		b.Vertex(graph.VertexID(i), 2)
+	}
+	for i := 1; i < 200; i++ {
+		b.Edge(0, graph.VertexID(i))
+	}
+	b.Edge(0, 200)
+	g := b.MustBuild()
+	p := pattern.MustNew(graph.NewBuilder("probe").
+		Vertex(0, 1).Vertex(1, 1).Vertex(2, 2).
+		Star(0, 1, 2).
+		MustBuild())
+	ex := isomorph.Explain(g.Freeze(), p, isomorph.Options{})
+	if !ex.Planned {
+		t.Fatalf("planner fell back to the naive order:\n%s", ex)
+	}
+	if got := ex.Steps[0].Label; got != 2 {
+		t.Fatalf("root label = %d, want the rare label 2:\n%s", got, ex)
+	}
+	// The A/B switch must disable exactly this decision.
+	if ex := isomorph.Explain(g.Freeze(), p, isomorph.Options{DisablePlanner: true}); ex.Planned {
+		t.Fatalf("DisablePlanner still produced a planned order:\n%s", ex)
+	}
+}
+
+// TestMaxOccurrencesParallelBudget pins the worker-level cap contract: a
+// positive MaxOccurrences with a parallel worker pool delivers exactly the
+// cap from the shared budget, and every delivered occurrence is one of the
+// real (uncapped) occurrences with no duplicates. Run under -race this also
+// exercises the atomic budget.
+func TestMaxOccurrencesParallelBudget(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, gen.UniformLabels{K: 2}, 14)
+	p := starPattern()
+	valid := make(map[string]bool)
+	for _, k := range occurrenceKeys(isomorph.Enumerate(g, p, isomorph.Options{})) {
+		valid[k] = true
+	}
+	if len(valid) < 100 {
+		t.Fatalf("only %d occurrences; workload too small to exercise the budget", len(valid))
+	}
+	for _, max := range []int{1, 7, 64} {
+		var total atomic.Int64
+		var mu sync.Mutex
+		seen := make(map[string]bool)
+		isomorph.EnumerateWorkers(g, p, isomorph.Options{MaxOccurrences: max, Parallelism: 4},
+			func(int) func(*isomorph.Occurrence) bool {
+				return func(o *isomorph.Occurrence) bool {
+					total.Add(1)
+					key := o.Key()
+					mu.Lock()
+					defer mu.Unlock()
+					if seen[key] {
+						t.Errorf("max=%d: duplicate occurrence %s", max, key)
+					}
+					seen[key] = true
+					if !valid[key] {
+						t.Errorf("max=%d: delivered occurrence %s not in the uncapped set", max, key)
+					}
+					return true
+				}
+			})
+		if got := total.Load(); got != int64(max) {
+			t.Errorf("max=%d: workers delivered %d occurrences", max, got)
+		}
+	}
+}

@@ -375,8 +375,10 @@ func (inc *Incremental) track(p *pattern.Pattern, code string) (*trackedPattern,
 	// that do run concurrently are root-restricted to the mutation ball,
 	// whose few roots make the auto mode fall back to sequential anyway.
 	d, err := core.NewDeltaContext(inc.g, p, core.Options{
-		Parallelism: inc.cfg.EnumParallelism,
-		Shards:      inc.cfg.EnumShards,
+		Parallelism:    inc.cfg.EnumParallelism,
+		Shards:         inc.cfg.EnumShards,
+		DisablePlanner: inc.cfg.EnumDisablePlanner,
+		DisableKernels: inc.cfg.EnumDisableKernels,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("miner: building delta context for %s: %w", p, err)

@@ -58,6 +58,13 @@ type Config struct {
 	// automatic sharding, positive values split the vertex range into that
 	// many contiguous shards. Mining results are identical for every setting.
 	EnumShards int
+	// EnumDisablePlanner and EnumDisableKernels are the A/B switches of the
+	// per-candidate enumeration engine's data-aware search-order planner and
+	// intersection kernels (core.Options.DisablePlanner / DisableKernels).
+	// Both default to off — the optimized paths are the production
+	// configuration — and mining results are identical for every setting.
+	EnumDisablePlanner bool
+	EnumDisableKernels bool
 	// Streaming builds per-candidate contexts in streaming mode: occurrences
 	// are folded into incremental aggregates instead of being materialized.
 	// Only valid with measures that run on streamed aggregates (MNI and the
@@ -342,6 +349,8 @@ func (m *Miner) evaluate(p *pattern.Pattern) (FrequentPattern, bool, error) {
 		MaxOccurrences: m.cfg.MaxOccurrences,
 		Parallelism:    enumPar,
 		Shards:         m.cfg.EnumShards,
+		DisablePlanner: m.cfg.EnumDisablePlanner,
+		DisableKernels: m.cfg.EnumDisableKernels,
 		Streaming:      m.cfg.Streaming,
 		Snapshot:       m.snap,
 	})

@@ -100,6 +100,12 @@ type (
 	ResidencyStats = store.ResidencyStats
 	// Figure is a built-in worked example from the paper.
 	Figure = dataset.Figure
+	// PlanExplanation reports the search order the enumeration engine would
+	// use for a (snapshot, pattern) pair, with the per-depth statistics that
+	// led to it; obtain one with ExplainPlan.
+	PlanExplanation = isomorph.PlanExplanation
+	// PlanStep is one depth of a PlanExplanation.
+	PlanStep = isomorph.PlanStep
 )
 
 // Canonical measure names accepted by NewMeasure and reported in Results.
@@ -184,6 +190,15 @@ type ContextOptions struct {
 	// drain cache-locally. The resulting Context is identical for every
 	// setting.
 	Shards int
+	// DisablePlanner disables the data-aware search-order planner of the
+	// enumeration engine, falling back to the pattern-only heuristic order.
+	// DisableKernels disables its intersection kernels (memoized candidate
+	// runs, galloping intersection, adjacency bitsets), falling back to
+	// seed-and-probe matching. Both default to off — the optimized paths are
+	// the production configuration — and exist as A/B switches for
+	// benchmarking and debugging; results are identical for every setting.
+	DisablePlanner bool
+	DisableKernels bool
 	// Streaming skips materializing the occurrence list and hypergraphs;
 	// occurrences are folded into incremental aggregates as they stream out
 	// of the enumeration workers. Only MNI and the raw occurrence/instance
@@ -205,8 +220,24 @@ func NewContext(g *Graph, p *Pattern, opts ContextOptions) (*Context, error) {
 		MaxOccurrences: opts.MaxOccurrences,
 		Parallelism:    opts.Parallelism,
 		Shards:         opts.Shards,
+		DisablePlanner: opts.DisablePlanner,
+		DisableKernels: opts.DisableKernels,
 		Streaming:      opts.Streaming,
 		Snapshot:       opts.Snapshot,
+	})
+}
+
+// ExplainPlan compiles — without running it — the search plan the enumeration
+// engine would use for pattern p over the given snapshot (freeze a Graph or
+// open a Store to obtain one), returning the chosen search order with the
+// per-depth candidate estimates and inner-loop kernels. Render it with its
+// String method. It powers the -explain flags of the gsupport and gminer
+// CLIs.
+func ExplainPlan(snap *Snapshot, p *Pattern, opts ContextOptions) *PlanExplanation {
+	return isomorph.Explain(snap, p, isomorph.Options{
+		Parallelism:    opts.Parallelism,
+		DisablePlanner: opts.DisablePlanner,
+		DisableKernels: opts.DisableKernels,
 	})
 }
 
@@ -258,6 +289,8 @@ func NewDeltaContext(g *Graph, p *Pattern, opts ContextOptions) (*DeltaContext, 
 		MaxOccurrences: opts.MaxOccurrences,
 		Parallelism:    opts.Parallelism,
 		Shards:         opts.Shards,
+		DisablePlanner: opts.DisablePlanner,
+		DisableKernels: opts.DisableKernels,
 	})
 }
 
