@@ -32,6 +32,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/cliflags"
 )
 
 func main() {
@@ -44,14 +45,12 @@ func main() {
 		benchjson = flag.String("benchjson", "", "write the enumeration benchmark records to this JSON file and exit")
 		compare   = flag.String("compare", "", "compare freshly measured enumeration records against this baseline JSON and exit non-zero on sequential regression")
 		threshold = flag.Float64("threshold", bench.DefaultRegressionThreshold, "allowed fractional sequential slowdown for -compare (0.30 = 30%; 0 selects the default)")
-		shards    = flag.Int("shards", 0, "CSR snapshot shard count for the enumeration experiments (0 = auto)")
-		storeDir  = flag.String("store", "", "benchmark enumeration over this out-of-core shard store directory (written by ggen -store) and exit")
-		residency = flag.String("residency", "", "residency byte budget for -store paging: bytes, binary sizes (64MiB) or a percentage of the store (25%); empty = unlimited")
 	)
+	fl := cliflags.Register(flag.CommandLine, cliflags.Shards, cliflags.Store)
 	flag.Parse()
 
-	if *storeDir != "" {
-		if err := bench.RunStoreInput(os.Stdout, *storeDir, *residency, bench.Config{Quick: *quick, Seed: *seed, CSV: *csv}); err != nil {
+	if fl.StorePath() != "" {
+		if err := bench.RunStoreInput(os.Stdout, fl.StorePath(), fl.Residency(), bench.Config{Quick: *quick, Seed: *seed, CSV: *csv}); err != nil {
 			fatal(err)
 		}
 		return
@@ -67,7 +66,7 @@ func main() {
 	}
 
 	if *benchjson != "" || *compare != "" {
-		report, err := bench.NewEnumerationReport(bench.Config{Quick: *quick, Seed: *seed, Shards: *shards})
+		report, err := bench.NewEnumerationReport(bench.Config{Quick: *quick, Seed: *seed, Shards: fl.Shards()})
 		if err != nil {
 			fatal(err)
 		}
@@ -105,7 +104,7 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Quick: *quick, Seed: *seed, CSV: *csv, Shards: *shards}
+	cfg := bench.Config{Quick: *quick, Seed: *seed, CSV: *csv, Shards: fl.Shards()}
 	if *exp == "" {
 		if err := reg.RunAll(os.Stdout, cfg); err != nil {
 			fatal(err)

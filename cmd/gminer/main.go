@@ -6,9 +6,10 @@
 //
 //	gminer -graph data.lg -measure MNI -minsup 5 [-maxsize 4] [-top 20]
 //	gminer -graph data.lg -minsup 5 -incremental -inserts 16
-//	                 # mine once, apply random edge inserts, and re-answer
-//	                 # from live delta-maintained support state (no cold
-//	                 # start), reporting refresh vs full re-mine latency
+//	                 # mine once, apply random edge inserts through the
+//	                 # engine's epoch handoff, and re-answer from live
+//	                 # delta-maintained support state (no cold start),
+//	                 # reporting refresh vs full re-mine latency
 //	gminer -store ba.store -minsup 5 -residency 25%
 //	                 # mine an mmapped out-of-core shard store (written by
 //	                 # ggen -store) without materializing the graph in RAM,
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	support "repro"
+	"repro/internal/cliflags"
 	"repro/internal/gen"
 )
 
@@ -37,149 +39,135 @@ func main() {
 		maxsize     = flag.Int("maxsize", 4, "maximum number of pattern nodes")
 		top         = flag.Int("top", 0, "print only the top-N patterns by support (0 = all)")
 		workers     = flag.Int("workers", 0, "candidate evaluation workers per search level (<2 = sequential)")
-		parallel    = flag.Int("parallel", 0, "per-candidate enumeration workers (0 = GOMAXPROCS, or sequential when -workers >= 2; 1 = sequential)")
-		shards      = flag.Int("shards", 0, "CSR snapshot shard count for per-candidate enumeration (0 = auto)")
-		streaming   = flag.Bool("streaming", false, "force streaming contexts per candidate (MNI and raw counts only); streaming-capable measures stream by default")
 		material    = flag.Bool("materialize", false, "opt out of the default streaming contexts for streaming-capable measures (MNI)")
 		incremental = flag.Bool("incremental", false, "keep the mining session warm, apply -inserts random edge inserts, and re-answer via delta maintenance instead of a cold re-mine (streaming-capable measures only)")
 		inserts     = flag.Int("inserts", 8, "number of random edge inserts the -incremental mode applies")
 		insertSeed  = flag.Uint64("insert-seed", 1, "PRNG seed for the -incremental edge inserts")
-		storePath   = flag.String("store", "", "mine an mmapped out-of-core shard store directory (written by ggen -store) instead of parsing -graph")
-		residency   = flag.String("residency", "", "residency byte budget for -store paging: bytes, binary sizes (64MiB) or a percentage of the store (25%); empty = unlimited")
-		explain     = flag.Bool("explain", false, "print the enumeration engine's search plan under each reported frequent pattern")
 	)
+	fl := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	m, err := support.NewMeasure(*measure)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := support.MinerConfig{
+	spec := support.MineSpec{
 		MinSupport:          *minsup,
 		MaxPatternSize:      *maxsize,
 		Measure:             m,
-		Parallelism:         *workers,
-		EnumParallelism:     *parallel,
-		EnumShards:          *shards,
-		Streaming:           *streaming,
+		Workers:             *workers,
 		MaterializeContexts: *material,
 	}
 
-	if *storePath != "" {
-		if *incremental {
-			fatal(fmt.Errorf("-incremental needs a mutable graph; a -store snapshot is immutable"))
+	var g *support.Graph
+	if fl.StorePath() == "" {
+		if *graphPath == "" {
+			fatal(fmt.Errorf("one of -graph or -store is required"))
 		}
-		mineStore(*storePath, *residency, cfg, *measure, *minsup, *maxsize, *top, *explain)
-		return
+		if g, err = support.LoadLGFile(*graphPath); err != nil {
+			fatal(err)
+		}
+	} else if *incremental {
+		fatal(fmt.Errorf("-incremental needs a mutable graph; a -store snapshot is immutable"))
 	}
 
-	if *graphPath == "" {
-		fatal(fmt.Errorf("one of -graph or -store is required"))
-	}
-	g, err := support.LoadLGFile(*graphPath)
+	eng, err := fl.Engine(func() (*support.Graph, error) { return g, nil })
 	if err != nil {
 		fatal(err)
 	}
+	defer eng.Close()
 
 	if *incremental {
-		mineIncremental(g, cfg, *measure, *minsup, *maxsize, *top, *inserts, *insertSeed, *explain)
+		mineIncremental(eng, g, spec, *measure, *top, *inserts, *insertSeed, fl.Explain())
 		return
 	}
 
-	res, err := support.Mine(g, cfg)
+	resp, err := eng.Do(&support.Request{Mine: &spec})
 	if err != nil {
 		fatal(err)
 	}
-	printHeader(g, *measure, *minsup, *maxsize)
-	printResult(res, *top, graphExplainer(g, cfg, *explain))
+	if fl.StorePath() != "" {
+		snap, _ := eng.Current()
+		fmt.Printf("data graph: store %s (%q, |V|=%d, |E|=%d, %d shards of %d vertices)\nmeasure:    %s   threshold: %g   max pattern size: %d\n\n",
+			fl.StorePath(), snap.Name(), snap.NumVertices(), snap.NumEdges(), snap.NumShards(), snap.ShardSize(), *measure, *minsup, *maxsize)
+	} else {
+		printHeader(g, *measure, *minsup, *maxsize)
+	}
+	printResult(resp.Mining, *top, engineExplainer(eng, fl.Explain()))
+	if rs, ok := eng.Residency(); ok {
+		fmt.Printf("\nresidency: %s\n", rs)
+	}
 }
 
 // planExplainer compiles the search plan of one mined pattern for -explain
 // output; nil disables plan printing.
 type planExplainer func(*support.Pattern) *support.PlanExplanation
 
-// graphExplainer builds the planExplainer for a heap-resident data graph.
-func graphExplainer(g *support.Graph, cfg support.MinerConfig, enabled bool) planExplainer {
+// engineExplainer builds the planExplainer over the engine's current
+// snapshot. Call it again after an Update to explain plans on the new epoch.
+func engineExplainer(eng *support.Engine, enabled bool) planExplainer {
 	if !enabled {
 		return nil
 	}
-	return snapshotExplainer(g.FreezeSharded(support.FreezeOptions{Shards: cfg.EnumShards}), cfg)
-}
-
-// snapshotExplainer builds the planExplainer for an explicit snapshot.
-func snapshotExplainer(snap *support.Snapshot, cfg support.MinerConfig) planExplainer {
+	snap, _ := eng.Current()
+	o := eng.Options()
 	opts := support.ContextOptions{
-		DisablePlanner: cfg.EnumDisablePlanner,
-		DisableKernels: cfg.EnumDisableKernels,
+		DisablePlanner: o.DisablePlanner,
+		DisableKernels: o.DisableKernels,
 	}
 	return func(p *support.Pattern) *support.PlanExplanation {
 		return support.ExplainPlan(snap, p, opts)
 	}
 }
 
-// mineStore mines an mmapped shard store: the data graph never exists as
-// heap objects, only as paged segment bytes behind the snapshot read API.
-func mineStore(dir, residency string, cfg support.MinerConfig, measure string, minsup float64, maxsize, top int, explain bool) {
-	st, err := support.OpenStoreWithBudget(dir, residency)
+// mineIncremental runs the warm-session workflow on the engine: mine once
+// through OpenSession, mutate through the Update epoch handoff, and
+// re-answer from the live delta state, reporting how the refresh latency
+// compares to a from-scratch re-mine of the new epoch.
+func mineIncremental(eng *support.Engine, g *support.Graph, spec support.MineSpec, measure string, top, inserts int, seed uint64, explain bool) {
+	sess, err := eng.OpenSession(spec)
 	if err != nil {
 		fatal(err)
 	}
-	defer st.Close()
-	snap := st.Snapshot()
-	res, err := support.MineSnapshot(snap, cfg)
+	defer sess.Close()
+
+	printHeader(g, measure, spec.MinSupport, spec.MaxPatternSize)
+	fmt.Printf("=== initial mine (tracked candidates: %d, epoch %d) ===\n", sess.TrackedPatterns(), eng.Epoch())
+	printResult(sess.Result(), top, engineExplainer(eng, explain))
+
+	var applied int
+	epoch, err := eng.Update(func(g *support.Graph) error {
+		applied = applyRandomInserts(g, inserts, seed)
+		return nil
+	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("data graph: store %s (%q, |V|=%d, |E|=%d, %d shards of %d vertices)\nmeasure:    %s   threshold: %g   max pattern size: %d\n\n",
-		dir, snap.Name(), snap.NumVertices(), snap.NumEdges(), snap.NumShards(), snap.ShardSize(), measure, minsup, maxsize)
-	var pe planExplainer
-	if explain {
-		pe = snapshotExplainer(snap, cfg)
-	}
-	printResult(res, top, pe)
-	fmt.Printf("\nresidency: %s\n", st.Residency())
-}
-
-// mineIncremental runs the warm-session workflow: mine once, mutate the
-// graph, and re-answer from the live delta state, reporting how the refresh
-// latency compares to a from-scratch re-mine of the mutated graph.
-func mineIncremental(g *support.Graph, cfg support.MinerConfig, measure string, minsup float64, maxsize, top, inserts int, seed uint64, explain bool) {
-	inc, err := support.MineIncremental(g, cfg)
-	if err != nil {
-		fatal(err)
-	}
-	defer inc.Close()
-
-	printHeader(g, measure, minsup, maxsize)
-	fmt.Printf("=== initial mine (tracked candidates: %d) ===\n", inc.TrackedPatterns())
-	printResult(inc.Result(), top, graphExplainer(g, cfg, explain))
-
-	applied := applyRandomInserts(g, inserts, seed)
 	if applied < inserts {
 		fmt.Printf("note: only %d of %d requested edge inserts were possible on this graph\n", applied, inserts)
 	}
 
 	start := time.Now()
-	res, err := inc.Refresh()
+	res, refreshEpoch, err := sess.Refresh()
 	if err != nil {
 		fatal(err)
 	}
 	refreshElapsed := time.Since(start)
 
 	start = time.Now()
-	cold, err := support.Mine(g, cfg)
+	cold, err := eng.Do(&support.Request{Mine: &spec})
 	if err != nil {
 		fatal(err)
 	}
 	coldElapsed := time.Since(start)
-	if len(cold.Patterns) != len(res.Patterns) {
-		fatal(fmt.Errorf("delta refresh found %d frequent patterns, cold re-mine found %d", len(res.Patterns), len(cold.Patterns)))
+	if len(cold.Mining.Patterns) != len(res.Patterns) {
+		fatal(fmt.Errorf("delta refresh found %d frequent patterns, cold re-mine found %d", len(res.Patterns), len(cold.Mining.Patterns)))
 	}
 
-	fmt.Printf("\n=== after %d random edge inserts ===\n", applied)
-	fmt.Printf("delta refresh:  %12s  (tracked candidates: %d)\n", refreshElapsed, inc.TrackedPatterns())
-	fmt.Printf("cold re-mine:   %12s  (same %d frequent patterns)\n\n", coldElapsed, len(cold.Patterns))
-	printResult(res, top, graphExplainer(g, cfg, explain))
+	fmt.Printf("\n=== after %d random edge inserts (epoch %d -> %d) ===\n", applied, epoch-1, refreshEpoch)
+	fmt.Printf("delta refresh:  %12s  (tracked candidates: %d)\n", refreshElapsed, sess.TrackedPatterns())
+	fmt.Printf("cold re-mine:   %12s  (same %d frequent patterns)\n\n", coldElapsed, len(cold.Mining.Patterns))
+	printResult(res, top, engineExplainer(eng, explain))
 }
 
 // applyRandomInserts adds up to n random non-duplicate edges between

@@ -1,0 +1,127 @@
+// Command gserved is the long-lived mining server: it opens a data source
+// once — a .lg file or an out-of-core shard store — and serves support
+// evaluation, frequent-pattern mining and warm incremental mining sessions
+// to many concurrent clients over HTTP/JSON, all through one shared
+// support.Engine and its snapshot epoch handoff.
+//
+// Usage:
+//
+//	gserved -graph data.lg -addr :8731
+//	gserved -store ba.store -residency 25% -addr :8731
+//	gserved -graph data.lg -max-mine 2 -max-sessions 16 -session-ttl 5m
+//
+// Endpoints (JSON bodies; see internal/server):
+//
+//	POST   /v1/evaluate              support measures of one pattern
+//	POST   /v1/mine                  one-shot frequent-pattern mining
+//	POST   /v1/mutate                add vertices/edges, refreeze, new epoch
+//	POST   /v1/sessions              open a warm mining session
+//	POST   /v1/sessions/{id}/refresh incremental re-answer on the new epoch
+//	DELETE /v1/sessions/{id}         close a session
+//	GET    /v1/stats                 epoch, graph dimensions, load
+//	GET    /v1/healthz               liveness probe
+//
+// Quickstart:
+//
+//	gserved -graph data.lg &
+//	curl -s localhost:8731/v1/evaluate \
+//	     -d '{"pattern":{"edge":[1,2]},"measures":["MNI"]}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	support "repro"
+	"repro/internal/cliflags"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		graphPath   = flag.String("graph", "", "path to the data graph in .lg format (mutable source: /v1/mutate and sessions work)")
+		addr        = flag.String("addr", ":8731", "listen address")
+		maxMine     = flag.Int("max-mine", 0, "bound on concurrently running mining jobs, one-shot and session alike (0 = default, negative = unlimited)")
+		maxParallel = flag.Int("max-parallel", 0, "cap on per-request enumeration workers, whatever the request asks for (0 = GOMAXPROCS, negative = unclamped)")
+		maxSessions = flag.Int("max-sessions", 0, "cap on live warm mining sessions (0 = default, negative = unlimited)")
+		sessionTTL  = flag.Duration("session-ttl", 0, "evict sessions idle for this long (0 = default, negative = never)")
+	)
+	fl := cliflags.Register(flag.CommandLine, cliflags.Enum, cliflags.Shards, cliflags.Store)
+	flag.Parse()
+
+	eng, err := fl.Engine(func() (*support.Graph, error) {
+		if *graphPath == "" {
+			return nil, fmt.Errorf("one of -graph or -store is required")
+		}
+		return support.LoadLGFile(*graphPath)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+
+	srv := server.New(eng, server.Config{
+		MaxMineInFlight: *maxMine,
+		MaxParallelism:  *maxParallel,
+		MaxSessions:     *maxSessions,
+		SessionIdleTTL:  *sessionTTL,
+	})
+	defer srv.Close()
+
+	snap, _ := eng.Current()
+	fmt.Printf("gserved: serving %q (|V|=%d, |E|=%d, %d shards) on %s\n",
+		snap.Name(), snap.NumVertices(), snap.NumEdges(), snap.NumShards(), *addr)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Janitor: evict idle sessions in the background until shutdown.
+	janitorDone := make(chan struct{})
+	go func() {
+		defer close(janitorDone)
+		t := time.NewTicker(time.Minute)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if n := srv.EvictIdleSessions(); n > 0 {
+					fmt.Printf("gserved: evicted %d idle session(s)\n", n)
+				}
+			case <-janitorStop:
+				return
+			}
+		}
+	}()
+
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, let in-flight
+	// requests finish, then close sessions and the engine via the defers.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		close(janitorStop)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	<-janitorDone
+	fmt.Println("gserved: shut down")
+}
+
+// janitorStop ends the eviction ticker on shutdown.
+var janitorStop = make(chan struct{})
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gserved:", err)
+	os.Exit(1)
+}

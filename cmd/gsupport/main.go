@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	support "repro"
+	"repro/internal/cliflags"
 )
 
 func main() {
@@ -38,13 +39,8 @@ func main() {
 		measureList = flag.String("measures", "", "comma-separated measure names (default: all); see -list")
 		list        = flag.Bool("list", false, "list available measure names and exit")
 		verify      = flag.Bool("verify", true, "verify the paper's bounding chain when all measures are computed")
-		parallel    = flag.Int("parallel", 0, "enumeration worker count (0 = GOMAXPROCS, 1 = sequential)")
-		shards      = flag.Int("shards", 0, "CSR snapshot shard count (0 = auto: one shard up to 65536 vertices)")
-		streaming   = flag.Bool("streaming", false, "stream occurrences instead of materializing them (restricts -measures to MNI and the raw counts)")
-		storePath   = flag.String("store", "", "mmap an out-of-core shard store directory (written by ggen -store) as the data graph instead of -graph")
-		residency   = flag.String("residency", "", "residency byte budget for -store paging: bytes, binary sizes (64MiB) or a percentage of the store (25%); empty = unlimited")
-		explain     = flag.Bool("explain", false, "print the enumeration engine's search plan (order, per-depth candidate estimates, kernels) before evaluating")
 	)
+	fl := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -61,50 +57,50 @@ func main() {
 			names[i] = strings.TrimSpace(names[i])
 		}
 	}
-	opts := support.ContextOptions{Parallelism: *parallel, Shards: *shards, Streaming: *streaming}
 
-	if *storePath != "" {
-		p, err := loadPattern(*patternPath, *edgeLabels)
-		if err != nil {
-			fatal(err)
-		}
-		st, err := support.OpenStoreWithBudget(*storePath, *residency)
-		if err != nil {
-			fatal(err)
-		}
-		defer st.Close()
-		snap := st.Snapshot()
-		if *explain {
-			fmt.Print(support.ExplainPlan(snap, p, opts))
-		}
-		ev, err := support.EvaluateSnapshot(snap, p, opts, names...)
-		if err != nil {
-			fatal(err)
-		}
+	// Resolve the pattern (and, for .lg/figure sources, the data graph) up
+	// front, then open the engine on whichever source the flags selected.
+	var (
+		g   *support.Graph
+		p   *support.Pattern
+		err error
+	)
+	if fl.StorePath() != "" {
+		p, err = loadPattern(*patternPath, *edgeLabels)
+	} else {
+		g, p, err = loadInputs(*figureName, *graphPath, *patternPath, *edgeLabels)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := fl.Engine(func() (*support.Graph, error) { return g, nil })
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+
+	resp, err := eng.Do(&support.Request{Pattern: p, Measures: names, Explain: fl.Explain()})
+	if err != nil {
+		fatal(err)
+	}
+
+	if fl.StorePath() != "" {
+		snap, _ := eng.Current()
 		fmt.Printf("data graph: store %s (%q, |V|=%d, |E|=%d, %d shards of %d vertices)\npattern:    %s\n\n",
-			*storePath, snap.Name(), snap.NumVertices(), snap.NumEdges(), snap.NumShards(), snap.ShardSize(), p)
-		fmt.Print(support.FormatEvaluation(ev))
-		fmt.Printf("\nresidency: %s\n", st.Residency())
-		verifyChain(ev, *verify && len(names) == 0 && !*streaming)
-		return
+			fl.StorePath(), snap.Name(), snap.NumVertices(), snap.NumEdges(), snap.NumShards(), snap.ShardSize(), p)
+	} else {
+		fmt.Printf("data graph: %s\npattern:    %s\n\n", g, p)
+	}
+	if resp.Plan != nil {
+		fmt.Print(resp.Plan)
+		fmt.Println()
+	}
+	fmt.Print(support.FormatEvaluation(resp.Evaluation))
+	if rs, ok := eng.Residency(); ok {
+		fmt.Printf("\nresidency: %s\n", rs)
 	}
 
-	g, p, err := loadInputs(*figureName, *graphPath, *patternPath, *edgeLabels)
-	if err != nil {
-		fatal(err)
-	}
-	if *explain {
-		snap := g.FreezeSharded(support.FreezeOptions{Shards: *shards})
-		fmt.Print(support.ExplainPlan(snap, p, opts))
-	}
-	ev, err := support.EvaluateWithOptions(g, p, opts, names...)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("data graph: %s\npattern:    %s\n\n", g, p)
-	fmt.Print(support.FormatEvaluation(ev))
-
-	verifyChain(ev, *verify && len(names) == 0 && !*streaming)
+	verifyChain(resp.Evaluation, *verify && len(names) == 0 && !fl.Streaming())
 }
 
 // verifyChain checks the paper's bounding chain on a full evaluation when

@@ -1,0 +1,445 @@
+package support
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/isomorph"
+	"repro/internal/measures"
+	"repro/internal/miner"
+	"repro/internal/store"
+)
+
+// EngineOptions is the unified knob surface of the library: it collapses the
+// enumeration options that used to be scattered across ContextOptions,
+// MinerConfig's Enum* fields and StoreOptions into one struct that an Engine
+// is constructed with and that individual requests may override. Every layer
+// — the facade wrappers, the CLIs and the gserved server — speaks this one
+// options type.
+//
+// All fields are A/B-safe: results are identical for every setting (the cap
+// excepted, which truncates deterministically).
+type EngineOptions struct {
+	// MaxOccurrences caps occurrence enumeration per evaluated pattern; zero
+	// means unlimited. A positive cap forces sequential enumeration so the
+	// kept prefix is deterministic.
+	MaxOccurrences int
+	// Parallelism is the worker count of the streaming enumeration engine:
+	// 0 picks GOMAXPROCS (with a sequential fallback on tiny inputs), 1
+	// forces the deterministic sequential path, higher values are used as
+	// given.
+	Parallelism int
+	// Shards is the CSR shard count snapshots are frozen with: 0 keeps the
+	// graph's automatic sharding (one shard up to 65536 vertices). It is
+	// ignored by snapshot- and store-backed engines, whose sources carry
+	// their own shard geometry.
+	Shards int
+	// DisablePlanner and DisableKernels are the A/B switches of the
+	// enumeration engine's data-aware search-order planner and intersection
+	// kernels. Both default to off — the optimized paths are the production
+	// configuration.
+	DisablePlanner bool
+	// DisableKernels is documented on DisablePlanner.
+	DisableKernels bool
+	// Streaming skips materializing occurrence lists and hypergraphs;
+	// occurrences are folded into incremental aggregates as they stream out
+	// of the enumeration workers. Only MNI and the raw occurrence/instance
+	// counts can be computed on streaming state.
+	Streaming bool
+	// ResidencyBudget caps the resident bytes of a store-backed engine's
+	// mmapped shards, in ParseResidencyBudget syntax (bytes, "64MiB", "25%";
+	// empty = unlimited). It is an engine-level property consumed by
+	// OpenStoreEngine and cannot be overridden per request; graph- and
+	// snapshot-backed engines ignore it.
+	ResidencyBudget string
+}
+
+// contextOptions projects the enumeration-facing fields onto core.Options.
+func (o EngineOptions) contextOptions() core.Options {
+	return core.Options{
+		MaxOccurrences: o.MaxOccurrences,
+		Parallelism:    o.Parallelism,
+		Shards:         o.Shards,
+		DisablePlanner: o.DisablePlanner,
+		DisableKernels: o.DisableKernels,
+		Streaming:      o.Streaming,
+	}
+}
+
+// MineSpec is the mining half of a Request: the knobs that shape the
+// frequent-pattern search itself. The enumeration knobs live in
+// EngineOptions; an Engine combines both into the miner configuration.
+type MineSpec struct {
+	// MinSupport is the frequency threshold: a pattern is frequent when its
+	// support is >= MinSupport.
+	MinSupport float64
+	// MaxPatternSize bounds the number of nodes of explored patterns. Zero
+	// means the miner's DefaultMaxPatternSize.
+	MaxPatternSize int
+	// MaxPatterns stops the search after this many frequent patterns have
+	// been reported; zero means unlimited.
+	MaxPatterns int
+	// Measure is the support measure driving pruning; nil means MNI.
+	Measure Measure
+	// Workers is the candidate-level evaluation parallelism per search
+	// level; values below 2 evaluate sequentially.
+	Workers int
+	// MaterializeContexts opts out of the automatic streaming contexts for
+	// streaming-capable measures (see MinerConfig.MaterializeContexts).
+	MaterializeContexts bool
+}
+
+// minerConfig combines the mining spec with engine-level enumeration options
+// into the internal miner configuration.
+func (ms *MineSpec) minerConfig(o EngineOptions) miner.Config {
+	return miner.Config{
+		MinSupport:          ms.MinSupport,
+		MaxPatternSize:      ms.MaxPatternSize,
+		MaxPatterns:         ms.MaxPatterns,
+		Measure:             ms.Measure,
+		MaxOccurrences:      o.MaxOccurrences,
+		Parallelism:         ms.Workers,
+		EnumParallelism:     o.Parallelism,
+		EnumShards:          o.Shards,
+		EnumDisablePlanner:  o.DisablePlanner,
+		EnumDisableKernels:  o.DisableKernels,
+		Streaming:           o.Streaming,
+		MaterializeContexts: ms.MaterializeContexts,
+	}
+}
+
+// Request is the one request surface of the Engine: a support-evaluation
+// request carries a Pattern (and optionally measure names), a mining request
+// carries a MineSpec, and either kind may additionally ask for a plan
+// explanation. The facade wrappers (Evaluate, Mine, ...), the CLIs and the
+// gserved server all reduce to this type.
+type Request struct {
+	// Pattern is the query pattern of an evaluation or explanation request;
+	// nil for mining requests.
+	Pattern *Pattern
+	// Measures names the measures to evaluate; empty means the default set
+	// (shrunk to the streaming-capable measures on streaming state).
+	Measures []string
+	// Mine, when non-nil, makes this a mining request. It is mutually
+	// exclusive with Pattern/Measures.
+	Mine *MineSpec
+	// Explain additionally compiles (without running it) the search plan of
+	// Pattern over the engine's current snapshot into Response.Plan.
+	Explain bool
+	// Options, when non-nil, overrides the engine's default EngineOptions
+	// for this request (ResidencyBudget excepted: residency is fixed when a
+	// store is opened).
+	Options *EngineOptions
+}
+
+// Response is the outcome of one Engine request.
+type Response struct {
+	// Epoch identifies the immutable snapshot the request was answered on;
+	// it starts at 1 and increments on every Engine.Update handoff.
+	Epoch uint64
+	// Evaluation holds the measure results of an evaluation request; nil
+	// for mining requests.
+	Evaluation *Evaluation
+	// Mining holds the result of a mining request; nil otherwise.
+	Mining *MinerResult
+	// Plan is the compiled search-plan explanation when Request.Explain was
+	// set (and the request had a Pattern); nil otherwise.
+	Plan *PlanExplanation
+}
+
+// engineState is one epoch of an Engine: an immutable snapshot plus its
+// sequence number. The Engine swaps whole states atomically, so in-flight
+// requests keep reading the snapshot they loaded while new requests see the
+// refrozen one — MVCC on top of the snapshot layer's immutability.
+type engineState struct {
+	snap  *Snapshot
+	epoch uint64
+}
+
+// Engine is the long-lived serving core of the library: it opens a data
+// source once — a mutable Graph, an explicit frozen Snapshot, or an
+// out-of-core Store — and answers evaluation, mining and explanation
+// Requests from any number of concurrent goroutines against an immutable
+// pinned snapshot.
+//
+// Concurrency model (the snapshot epoch handoff): Do never locks — it reads
+// the current (snapshot, epoch) pair with one atomic load and runs entirely
+// on that immutable snapshot. Update serializes writers, mutates the graph,
+// refreezes, and atomically publishes the next epoch; requests in flight
+// across the handoff simply finish on the snapshot they pinned. Sessions
+// (OpenSession) read the mutable graph and therefore exclude writers for the
+// duration of their refresh, but never each other.
+//
+// The free functions Evaluate, Mine, MineSnapshot, EvaluateSnapshot, ... are
+// thin wrappers that build a throwaway Engine per call; long-lived callers —
+// above all the gserved server — construct one Engine and share it.
+type Engine struct {
+	opts EngineOptions
+
+	// g is the mutable source; nil for snapshot- and store-backed engines.
+	g *graph.Graph
+	// st is the open store of a store-backed engine; owned and closed by
+	// Close. Nil otherwise.
+	st *store.Store
+
+	// mu orders writers (Update: exclusive) against graph-reading
+	// operations (sessions, re-shard freezes: shared). Snapshot-pinned
+	// requests take no lock at all.
+	mu    sync.RWMutex
+	state atomic.Pointer[engineState]
+}
+
+// NewEngine returns an engine over a mutable data graph. The graph is frozen
+// once with opts.Shards; later mutations must go through Update, which
+// refreezes and advances the epoch. Mutating g directly while the engine is
+// serving is a data race.
+func NewEngine(g *Graph, opts EngineOptions) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("support: NewEngine needs a non-nil graph (use NewSnapshotEngine or OpenStoreEngine for immutable sources)")
+	}
+	e := &Engine{opts: opts, g: g}
+	snap := g.FreezeSharded(graph.FreezeOptions{Shards: opts.Shards})
+	e.state.Store(&engineState{snap: snap, epoch: 1})
+	return e, nil
+}
+
+// NewSnapshotEngine returns an engine over an explicit frozen snapshot —
+// typically one obtained from an already-open Store. The engine is
+// immutable: Update and OpenSession fail, and opts.Shards is ignored in
+// favor of the snapshot's own geometry.
+func NewSnapshotEngine(snap *Snapshot, opts EngineOptions) (*Engine, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("support: NewSnapshotEngine needs a non-nil snapshot")
+	}
+	e := &Engine{opts: opts}
+	e.state.Store(&engineState{snap: snap, epoch: 1})
+	return e, nil
+}
+
+// OpenStoreEngine opens the out-of-core shard store at dir under
+// opts.ResidencyBudget and serves its mmap-backed snapshot. The engine owns
+// the store: Close unmaps it. Like NewSnapshotEngine the result is
+// immutable, and opts.Shards is ignored.
+func OpenStoreEngine(dir string, opts EngineOptions) (*Engine, error) {
+	st, err := store.OpenWithBudget(dir, opts.ResidencyBudget)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{opts: opts, st: st}
+	e.state.Store(&engineState{snap: st.Snapshot(), epoch: 1})
+	return e, nil
+}
+
+// Options returns the engine's default options.
+func (e *Engine) Options() EngineOptions { return e.opts }
+
+// Mutable reports whether the engine serves a mutable graph (Update and
+// OpenSession work) rather than an immutable snapshot or store.
+func (e *Engine) Mutable() bool { return e.g != nil }
+
+// Current returns the engine's pinned snapshot and its epoch. The snapshot
+// is immutable and remains valid (and byte-stable) after any number of later
+// Updates — retain it to re-answer questions as of that epoch.
+func (e *Engine) Current() (*Snapshot, uint64) {
+	st := e.state.Load()
+	return st.snap, st.epoch
+}
+
+// Epoch returns the current epoch number.
+func (e *Engine) Epoch() uint64 { return e.state.Load().epoch }
+
+// Residency returns the paging statistics of a store-backed engine; ok is
+// false for graph- and snapshot-backed engines.
+func (e *Engine) Residency() (stats ResidencyStats, ok bool) {
+	if e.st == nil {
+		return ResidencyStats{}, false
+	}
+	return e.st.Residency(), true
+}
+
+// Close releases resources owned by the engine (the mmapped store of a
+// store-backed engine). Sessions must be closed first; requests must not be
+// in flight. Close is idempotent.
+func (e *Engine) Close() error {
+	if e.st == nil {
+		return nil
+	}
+	st := e.st
+	e.st = nil
+	return st.Close()
+}
+
+// Update applies a mutation batch to a graph-backed engine and performs the
+// snapshot epoch handoff: mutate runs under the writer lock (excluding
+// session refreshes but not snapshot-pinned requests, which keep reading the
+// old epoch), the graph is refrozen, and the new (snapshot, epoch) pair is
+// published atomically. It returns the new epoch.
+//
+// The refreeze happens even when mutate returns an error, so any mutations
+// applied before the failure become visible at the returned epoch instead of
+// leaking silently into a later one. A nil mutate is a pure refreeze (epoch
+// bump with unchanged data).
+func (e *Engine) Update(mutate func(g *Graph) error) (uint64, error) {
+	if e.g == nil {
+		return 0, fmt.Errorf("support: engine source is immutable (snapshot- or store-backed); Update needs a graph-backed engine")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var mutErr error
+	if mutate != nil {
+		mutErr = mutate(e.g)
+	}
+	snap := e.g.FreezeSharded(graph.FreezeOptions{Shards: e.opts.Shards})
+	next := &engineState{snap: snap, epoch: e.state.Load().epoch + 1}
+	e.state.Store(next)
+	return next.epoch, mutErr
+}
+
+// Do answers one Request on the engine's current snapshot. It is safe for
+// any number of concurrent callers and never blocks on writers: the
+// (snapshot, epoch) pair is pinned with one atomic load and the request runs
+// to completion on it, even if an Update hands off a new epoch mid-flight.
+func (e *Engine) Do(req *Request) (*Response, error) {
+	if req == nil {
+		return nil, fmt.Errorf("support: nil request")
+	}
+	opts := e.opts
+	if req.Options != nil {
+		opts = *req.Options
+		opts.ResidencyBudget = e.opts.ResidencyBudget
+	}
+	st := e.state.Load()
+	snap, epoch := st.snap, st.epoch
+	if e.g != nil && opts.Shards != e.opts.Shards {
+		// A request asking for a different shard geometry re-freezes the
+		// graph (served from the graph's snapshot cache when warm). The
+		// read lock excludes writers so the freeze observes a consistent
+		// epoch; the returned snapshot is immutable, so the lock is
+		// released before any enumeration work.
+		e.mu.RLock()
+		snap = e.g.FreezeSharded(graph.FreezeOptions{Shards: opts.Shards})
+		epoch = e.state.Load().epoch
+		e.mu.RUnlock()
+	}
+
+	if req.Mine != nil && (req.Pattern != nil || len(req.Measures) > 0) {
+		return nil, fmt.Errorf("support: a request either mines (Mine) or evaluates a pattern (Pattern/Measures), not both")
+	}
+	resp := &Response{Epoch: epoch}
+	if req.Explain {
+		if req.Pattern == nil {
+			return nil, fmt.Errorf("support: Explain requires a Pattern")
+		}
+		resp.Plan = isomorph.Explain(snap, req.Pattern, isomorph.Options{
+			Parallelism:    opts.Parallelism,
+			DisablePlanner: opts.DisablePlanner,
+			DisableKernels: opts.DisableKernels,
+		})
+	}
+
+	switch {
+	case req.Mine != nil:
+		m, err := miner.NewSnapshot(snap, req.Mine.minerConfig(opts))
+		if err != nil {
+			return nil, err
+		}
+		res, err := m.Mine()
+		if err != nil {
+			return nil, err
+		}
+		resp.Mining = res
+		return resp, nil
+
+	case req.Pattern != nil:
+		copts := opts.contextOptions()
+		copts.Snapshot = snap
+		ctx, err := core.NewContext(e.g, req.Pattern, copts)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := evaluateNamed(ctx, req.Measures)
+		if err != nil {
+			return nil, err
+		}
+		resp.Evaluation = ev
+		return resp, nil
+
+	default:
+		return nil, fmt.Errorf("support: request needs a Pattern or a Mine spec")
+	}
+}
+
+// evaluateNamed computes the named measures (default set when none are
+// given) on a prepared context.
+func evaluateNamed(ctx *Context, names []string) (*Evaluation, error) {
+	if len(names) == 0 {
+		return measures.Evaluate(ctx)
+	}
+	reg := measures.NewRegistry()
+	ms := make([]Measure, 0, len(names))
+	for _, n := range names {
+		m, err := reg.New(n)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+	}
+	return measures.Evaluate(ctx, ms...)
+}
+
+// OpenSession starts a warm mining session on a graph-backed engine: the
+// initial result equals a cold mine, and Refresh re-answers the
+// frequent-pattern question from live delta-maintained support state after
+// Updates. The session reads the mutable graph, so its operations hold the
+// engine's shared lock — concurrent sessions proceed in parallel, writers
+// wait. Close the session when the client goes away; the gserved session
+// manager evicts idle ones.
+func (e *Engine) OpenSession(spec MineSpec) (*Session, error) {
+	if e.g == nil {
+		return nil, fmt.Errorf("support: engine source is immutable (snapshot- or store-backed); sessions need a graph-backed engine")
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	inc, err := miner.NewIncremental(e.g, spec.minerConfig(e.opts))
+	if err != nil {
+		return nil, err
+	}
+	return &Session{e: e, inc: inc}, nil
+}
+
+// Session is one warm mining session opened on an Engine: a thin,
+// engine-locked wrapper around an IncrementalMiner. A Session serves one
+// client at a time (its methods must not be called concurrently with each
+// other); different sessions are independent.
+type Session struct {
+	e   *Engine
+	inc *miner.Incremental
+}
+
+// Refresh synchronizes the session with every Update since the previous
+// refresh and returns the updated mining result — equal to a cold mine of
+// the current epoch — together with the epoch it corresponds to.
+func (s *Session) Refresh() (*MinerResult, uint64, error) {
+	s.e.mu.RLock()
+	defer s.e.mu.RUnlock()
+	res, err := s.inc.Refresh()
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, s.e.state.Load().epoch, nil
+}
+
+// Result returns the session's most recent mining result without
+// refreshing.
+func (s *Session) Result() *MinerResult { return s.inc.Result() }
+
+// TrackedPatterns returns the number of candidate patterns the session keeps
+// warm (frequent patterns plus the pruned boundary).
+func (s *Session) TrackedPatterns() int { return s.inc.TrackedPatterns() }
+
+// Close releases the session's live delta contexts and mutation-feed
+// subscriptions. It is idempotent; the last Result stays readable.
+func (s *Session) Close() { s.inc.Close() }

@@ -1,0 +1,319 @@
+package support_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	support "repro"
+)
+
+// TestEngineWrapperParity proves the deprecated free-function facade is a
+// pure re-skin of the Engine: Evaluate/EvaluateWithOptions/Mine/MineSnapshot
+// answers are identical — field for field, byte for byte once encoded — to
+// building an Engine and issuing the equivalent Request directly.
+func TestEngineWrapperParity(t *testing.T) {
+	g := support.BarabasiAlbert(80, 2, 2, 13)
+	p := support.SingleEdgePattern(1, 2)
+
+	asJSON := func(v any) string {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return string(b)
+	}
+
+	t.Run("evaluate", func(t *testing.T) {
+		cases := []struct {
+			opts     support.ContextOptions
+			measures []string
+		}{
+			{support.ContextOptions{}, []string{"MNI", "MI"}},
+			{support.ContextOptions{Parallelism: 1}, []string{"MNI", "MI"}},
+			{support.ContextOptions{Parallelism: 2, Shards: 4}, []string{"MNI", "MI"}},
+			{support.ContextOptions{Streaming: true}, []string{"MNI"}},
+			{support.ContextOptions{MaxOccurrences: 50}, []string{"MNI", "MI"}},
+		}
+		for _, tc := range cases {
+			opts := tc.opts
+			wrapped, err := support.EvaluateWithOptions(g, p, opts, tc.measures...)
+			if err != nil {
+				t.Fatalf("EvaluateWithOptions(%+v): %v", opts, err)
+			}
+			eng, err := support.NewEngine(g, support.EngineOptions{
+				MaxOccurrences: opts.MaxOccurrences,
+				Parallelism:    opts.Parallelism,
+				Shards:         opts.Shards,
+				Streaming:      opts.Streaming,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := eng.Do(&support.Request{Pattern: p, Measures: tc.measures})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := asJSON(resp.Evaluation.Results), asJSON(wrapped.Results); got != want {
+				t.Fatalf("opts %+v: engine answer differs from wrapper:\n got %s\nwant %s", opts, got, want)
+			}
+		}
+	})
+
+	t.Run("mine", func(t *testing.T) {
+		cfg := support.MinerConfig{MinSupport: 5, MaxPatternSize: 3}
+		wrapped, err := support.Mine(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := support.NewEngine(g, support.EngineOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := eng.Do(&support.Request{Mine: &support.MineSpec{MinSupport: 5, MaxPatternSize: 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameMining(t, resp.Mining, wrapped)
+	})
+
+	t.Run("mine-snapshot", func(t *testing.T) {
+		snap := g.FreezeSharded(support.FreezeOptions{Shards: 4})
+		cfg := support.MinerConfig{MinSupport: 5, MaxPatternSize: 3}
+		wrapped, err := support.MineSnapshot(snap, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := support.NewSnapshotEngine(snap, support.EngineOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := eng.Do(&support.Request{Mine: &support.MineSpec{MinSupport: 5, MaxPatternSize: 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameMining(t, resp.Mining, wrapped)
+	})
+}
+
+// assertSameMining compares two mining results modulo wall-clock stats.
+func assertSameMining(t *testing.T, got, want *support.MinerResult) {
+	t.Helper()
+	if len(got.Patterns) != len(want.Patterns) {
+		t.Fatalf("pattern count %d != %d", len(got.Patterns), len(want.Patterns))
+	}
+	for i := range got.Patterns {
+		a, b := got.Patterns[i], want.Patterns[i]
+		if a.Support != b.Support || a.Exact != b.Exact ||
+			a.Occurrences != b.Occurrences || a.Instances != b.Instances ||
+			a.Pattern.String() != b.Pattern.String() {
+			t.Fatalf("pattern %d differs:\n got %+v %s\nwant %+v %s", i, a, a.Pattern, b, b.Pattern)
+		}
+	}
+	gs, ws := got.Stats, want.Stats
+	gs.Elapsed, ws.Elapsed = 0, 0
+	if !reflect.DeepEqual(gs, ws) {
+		t.Fatalf("stats differ: %+v != %+v", gs, ws)
+	}
+}
+
+// TestEngineConcurrentEpochHandoff is the Engine-level serving soak: eight
+// reader goroutines issue mixed evaluate/mine/session-refresh requests
+// against one Engine while a writer applies mutation batches and refreezes.
+// Every answer must be identical to a one-shot run against the immutable
+// snapshot of the epoch it reports — no torn reads, no cross-epoch mixing.
+// Run under -race this also proves the lock architecture sound.
+func TestEngineConcurrentEpochHandoff(t *testing.T) {
+	g := support.BarabasiAlbert(70, 2, 2, 21)
+	eng, err := support.NewEngine(g, support.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := support.SingleEdgePattern(1, 2)
+	spec := support.MineSpec{MinSupport: 5, MaxPatternSize: 3}
+
+	const batches = 4
+	snaps := make(map[uint64]*support.Snapshot)
+	var snapMu sync.Mutex
+	s0, e0 := eng.Current()
+	snaps[e0] = s0
+
+	type evalRec struct {
+		epoch uint64
+		json  string
+	}
+	type mineRec struct {
+		epoch uint64
+		res   *support.MinerResult
+	}
+	var recMu sync.Mutex
+	var evals []evalRec
+	var mines []mineRec
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Four evaluators: lockless snapshot-pinned reads.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := eng.Do(&support.Request{Pattern: p, Measures: []string{"MNI", "MVC"}})
+				if err != nil {
+					t.Errorf("evaluate: %v", err)
+					return
+				}
+				b, _ := json.Marshal(resp.Evaluation.Results)
+				recMu.Lock()
+				evals = append(evals, evalRec{resp.Epoch, string(b)})
+				recMu.Unlock()
+			}
+		}()
+	}
+
+	// Two one-shot miners.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := eng.Do(&support.Request{Mine: &spec})
+				if err != nil {
+					t.Errorf("mine: %v", err)
+					return
+				}
+				recMu.Lock()
+				mines = append(mines, mineRec{resp.Epoch, resp.Mining})
+				recMu.Unlock()
+			}
+		}()
+	}
+
+	// Two warm sessions refreshing across the handoffs; a refresh must equal
+	// a cold mine of the epoch it reports.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess, err := eng.OpenSession(spec)
+			if err != nil {
+				t.Errorf("open session: %v", err)
+				return
+			}
+			defer sess.Close()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				res, epoch, err := sess.Refresh()
+				if err != nil {
+					t.Errorf("refresh: %v", err)
+					return
+				}
+				recMu.Lock()
+				mines = append(mines, mineRec{epoch, res})
+				recMu.Unlock()
+			}
+		}()
+	}
+
+	// The writer: wire a fresh vertex into the graph per batch, hand off.
+	// The sleeps give the readers time to land requests on every epoch.
+	for i := 0; i < batches; i++ {
+		time.Sleep(20 * time.Millisecond)
+		id := support.VertexID(2000 + i)
+		epoch, err := eng.Update(func(g *support.Graph) error {
+			if err := g.AddVertex(id, support.Label(1+i%2)); err != nil {
+				return err
+			}
+			if err := g.AddEdge(id, support.VertexID(i)); err != nil {
+				return err
+			}
+			return g.AddEdge(id, support.VertexID(i+9))
+		})
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		snap, ep := eng.Current()
+		if ep != epoch {
+			t.Fatalf("Current epoch %d after Update returned %d", ep, epoch)
+		}
+		snapMu.Lock()
+		snaps[ep] = snap
+		snapMu.Unlock()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(done)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// One-shot ground truth per epoch, computed on the retained snapshots.
+	wantEval := make(map[uint64]string)
+	wantMine := make(map[uint64]*support.MinerResult)
+	for ep, snap := range snaps {
+		ev, err := support.EvaluateSnapshot(snap, p, support.ContextOptions{}, "MNI", "MVC")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := json.Marshal(ev.Results)
+		wantEval[ep] = string(b)
+		res, err := support.MineSnapshot(snap, support.MinerConfig{MinSupport: 5, MaxPatternSize: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMine[ep] = res
+	}
+
+	epochsSeen := make(map[uint64]int)
+	for _, r := range evals {
+		want, ok := wantEval[r.epoch]
+		if !ok {
+			t.Fatalf("evaluation reported unknown epoch %d", r.epoch)
+		}
+		if r.json != want {
+			t.Fatalf("epoch %d evaluation differs from one-shot run:\n got %s\nwant %s", r.epoch, r.json, want)
+		}
+		epochsSeen[r.epoch]++
+	}
+	for _, r := range mines {
+		want, ok := wantMine[r.epoch]
+		if !ok {
+			t.Fatalf("mining reported unknown epoch %d", r.epoch)
+		}
+		assertSameMining(t, r.res, want)
+		epochsSeen[r.epoch]++
+	}
+	if len(evals) == 0 || len(mines) == 0 {
+		t.Fatalf("readers barely ran: %d evals, %d mines", len(evals), len(mines))
+	}
+	if len(epochsSeen) < 2 {
+		t.Fatalf("every answer landed on one epoch; the handoff never interleaved")
+	}
+	t.Logf("verified %d evaluations and %d mining results across epochs %v", len(evals), len(mines), keys(epochsSeen))
+}
+
+func keys(m map[uint64]int) []string {
+	out := make([]string, 0, len(m))
+	for k, v := range m {
+		out = append(out, fmt.Sprintf("%d:%d", k, v))
+	}
+	return out
+}

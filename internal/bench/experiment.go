@@ -102,6 +102,7 @@ func allExperiments() []Experiment {
 		miningExperiment(),
 		antimonoExperiment(),
 		overlapExperiment(),
+		servingExperiment(),
 	}
 }
 

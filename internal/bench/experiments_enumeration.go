@@ -215,6 +215,11 @@ func NewEnumerationReport(cfg Config) (*EnumerationReport, error) {
 		return nil, fmt.Errorf("bench: store records: %w", err)
 	}
 	records = append(records, storeRecs...)
+	servingRecs, err := ServingRecords(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: serving records: %w", err)
+	}
+	records = append(records, servingRecs...)
 	return &EnumerationReport{
 		Experiment: "enumeration",
 		GoMaxProcs: runtime.GOMAXPROCS(0),

@@ -1,0 +1,160 @@
+// Package cliflags is the one place the g* command-line tools declare their
+// shared engine-facing flags. gsupport, gminer, gbench and gserved all speak
+// the same knobs — enumeration parallelism, snapshot sharding, the
+// planner/kernel A/B switches, the out-of-core store pair (-store,
+// -residency) and -explain — and before this package each binary re-declared
+// its own drifting copies. Register installs the requested flag families on
+// a FlagSet and EngineOptions maps the parsed values onto the unified
+// support.EngineOptions surface, so a new tool gets the full serving
+// configuration for free.
+package cliflags
+
+import (
+	"flag"
+
+	support "repro"
+)
+
+// Group selects one family of shared flags for Register.
+type Group int
+
+// The flag families a tool can request.
+const (
+	// Enum installs the enumeration-engine knobs: -parallel, -streaming and
+	// the -no-planner/-no-kernels A/B switches.
+	Enum Group = iota
+	// Shards installs -shards, the CSR snapshot shard count.
+	Shards
+	// Store installs the out-of-core pair -store and -residency.
+	Store
+	// Explain installs -explain, the search-plan printing switch.
+	Explain
+)
+
+// Flags holds the parsed values of the shared flags a tool registered.
+// Accessors of unregistered families return zero values, so one code path
+// serves every tool regardless of which families it asked for.
+type Flags struct {
+	parallel  *int
+	shards    *int
+	streaming *bool
+	noPlanner *bool
+	noKernels *bool
+	store     *string
+	residency *string
+	explain   *bool
+}
+
+// Register installs the requested flag families on fs (every family when
+// none are named) and returns the holder to read after fs.Parse.
+func Register(fs *flag.FlagSet, groups ...Group) *Flags {
+	if len(groups) == 0 {
+		groups = []Group{Enum, Shards, Store, Explain}
+	}
+	f := &Flags{}
+	for _, g := range groups {
+		switch g {
+		case Enum:
+			f.parallel = fs.Int("parallel", 0, "enumeration worker count (0 = GOMAXPROCS, 1 = sequential)")
+			f.streaming = fs.Bool("streaming", false, "stream occurrences into incremental aggregates instead of materializing them (MNI and the raw counts only)")
+			f.noPlanner = fs.Bool("no-planner", false, "disable the data-aware search-order planner (A/B switch; results are identical)")
+			f.noKernels = fs.Bool("no-kernels", false, "disable the intersection kernels (A/B switch; results are identical)")
+		case Shards:
+			f.shards = fs.Int("shards", 0, "CSR snapshot shard count (0 = auto: one shard up to 65536 vertices)")
+		case Store:
+			f.store = fs.String("store", "", "mmap an out-of-core shard store directory (written by ggen -store) as the data source")
+			f.residency = fs.String("residency", "", "residency byte budget for -store paging: bytes, binary sizes (64MiB) or a percentage of the store (25%); empty = unlimited")
+		case Explain:
+			f.explain = fs.Bool("explain", false, "print the enumeration engine's search plan (order, per-depth candidate estimates, kernels)")
+		}
+	}
+	return f
+}
+
+// EngineOptions maps the parsed flags onto the unified engine options. Flag
+// families the tool did not register contribute their zero values.
+func (f *Flags) EngineOptions() support.EngineOptions {
+	var o support.EngineOptions
+	if f.parallel != nil {
+		o.Parallelism = *f.parallel
+	}
+	if f.shards != nil {
+		o.Shards = *f.shards
+	}
+	if f.streaming != nil {
+		o.Streaming = *f.streaming
+	}
+	if f.noPlanner != nil {
+		o.DisablePlanner = *f.noPlanner
+	}
+	if f.noKernels != nil {
+		o.DisableKernels = *f.noKernels
+	}
+	if f.residency != nil {
+		o.ResidencyBudget = *f.residency
+	}
+	return o
+}
+
+// Parallel returns the -parallel value (0 when unregistered).
+func (f *Flags) Parallel() int {
+	if f.parallel == nil {
+		return 0
+	}
+	return *f.parallel
+}
+
+// Shards returns the -shards value (0 when unregistered).
+func (f *Flags) Shards() int {
+	if f.shards == nil {
+		return 0
+	}
+	return *f.shards
+}
+
+// Streaming returns the -streaming value (false when unregistered).
+func (f *Flags) Streaming() bool {
+	if f.streaming == nil {
+		return false
+	}
+	return *f.streaming
+}
+
+// StorePath returns the -store directory ("" when unset or unregistered).
+func (f *Flags) StorePath() string {
+	if f.store == nil {
+		return ""
+	}
+	return *f.store
+}
+
+// Residency returns the -residency budget string ("" when unset or
+// unregistered).
+func (f *Flags) Residency() string {
+	if f.residency == nil {
+		return ""
+	}
+	return *f.residency
+}
+
+// Explain returns the -explain value (false when unregistered).
+func (f *Flags) Explain() bool {
+	if f.explain == nil {
+		return false
+	}
+	return *f.explain
+}
+
+// Engine opens the engine for the tool's resolved data source: the mmapped
+// -store directory when one was given, otherwise the graph returned by
+// loadGraph. This is the one constructor path every g* tool shares.
+func (f *Flags) Engine(loadGraph func() (*support.Graph, error)) (*support.Engine, error) {
+	if dir := f.StorePath(); dir != "" {
+		return support.OpenStoreEngine(dir, f.EngineOptions())
+	}
+	g, err := loadGraph()
+	if err != nil {
+		return nil, err
+	}
+	return support.NewEngine(g, f.EngineOptions())
+}

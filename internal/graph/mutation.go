@@ -62,6 +62,17 @@ func (g *Graph) Subscribe() *MutationFeed {
 	return f
 }
 
+// OpenFeeds returns the number of mutation feeds currently subscribed to the
+// graph. Long-lived servers use it as a leak check: every session and delta
+// context owns feeds, and closing them must return this count to its
+// baseline.
+func (g *Graph) OpenFeeds() int {
+	g.feedMu.Lock()
+	n := len(g.feeds)
+	g.feedMu.Unlock()
+	return n
+}
+
 // notifyFeeds appends a mutation to every open feed. It is called from the
 // mutation methods after the graph state has been updated.
 func (g *Graph) notifyFeeds(m Mutation) {

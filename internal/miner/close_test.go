@@ -1,0 +1,53 @@
+package miner
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestIncrementalCloseReleasesFeeds is the session-eviction resource
+// accounting check: every incremental session owns one mutation feed itself
+// plus one per tracked delta context, and closing the session must return
+// the graph's subscription count exactly to its baseline — a server evicting
+// thousands of idle sessions must not leak feeds (each undrained feed
+// buffers every future mutation forever).
+func TestIncrementalCloseReleasesFeeds(t *testing.T) {
+	g := gen.BarabasiAlbert(60, 2, gen.UniformLabels{K: 2}, 7)
+	base := g.OpenFeeds()
+
+	const sessions = 8
+	incs := make([]*Incremental, 0, sessions)
+	for i := 0; i < sessions; i++ {
+		inc, err := NewIncremental(g, Config{MinSupport: 3, MaxPatternSize: 3})
+		if err != nil {
+			t.Fatalf("NewIncremental: %v", err)
+		}
+		incs = append(incs, inc)
+	}
+	open := g.OpenFeeds()
+	if open <= base {
+		t.Fatalf("expected open sessions to hold mutation feeds, got %d (baseline %d)", open, base)
+	}
+	// Every session holds its own feed plus one per tracked candidate.
+	wantPer := 1 + incs[0].TrackedPatterns()
+	if got := (open - base) / sessions; got != wantPer {
+		t.Fatalf("each session holds %d feeds, want %d (1 + %d tracked)", got, wantPer, incs[0].TrackedPatterns())
+	}
+
+	for _, inc := range incs {
+		inc.Close()
+		inc.Close() // idempotent: double close must not double-release
+	}
+	if got := g.OpenFeeds(); got != base {
+		t.Fatalf("feeds leaked: %d open after closing every session, baseline %d", got, base)
+	}
+
+	// A closed session keeps its last result readable but refuses Refresh.
+	if incs[0].Result() == nil {
+		t.Fatalf("closed session lost its result")
+	}
+	if _, err := incs[0].Refresh(); err == nil {
+		t.Fatalf("Refresh on a closed session should fail")
+	}
+}

@@ -48,6 +48,7 @@ type Incremental struct {
 
 	duplicates int
 	result     *Result
+	closed     bool
 }
 
 // trackedPattern is one candidate pattern kept warm across mutations.
@@ -113,9 +114,16 @@ func NewIncremental(g *graph.Graph, cfg Config) (*Incremental, error) {
 	return inc, nil
 }
 
-// Close releases every live delta context and the session's mutation feed.
-// The last Result stays readable.
+// Close releases every live delta context and the session's mutation feed,
+// returning the graph's mutation-feed count to what it was before the
+// session existed. It is idempotent — a server evicting a session races its
+// own shutdown path against client disconnects, and both may Close — and the
+// last Result stays readable. Refresh must not be called after Close.
 func (inc *Incremental) Close() {
+	if inc.closed {
+		return
+	}
+	inc.closed = true
 	for _, tp := range inc.tracked {
 		tp.delta.Close()
 	}
@@ -140,6 +148,9 @@ func (inc *Incremental) TrackedPatterns() int { return len(inc.tracked) }
 // threshold, or seeds over new label pairs — are enumerated from scratch,
 // once, on their way into the tracked set.
 func (inc *Incremental) Refresh() (*Result, error) {
+	if inc.closed {
+		return nil, fmt.Errorf("miner: Refresh on a closed incremental session")
+	}
 	muts := inc.feed.Drain()
 	if len(muts) == 0 {
 		return inc.result, nil

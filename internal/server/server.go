@@ -1,0 +1,434 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	support "repro"
+)
+
+// Config bounds what the serving layer admits. The zero value picks the
+// documented defaults; explicit negatives mean unlimited where noted.
+type Config struct {
+	// MaxMineInFlight bounds concurrent mining jobs (one-shot mines plus
+	// session opens and refreshes); excess requests queue. Zero means
+	// DefaultMaxMineInFlight, negative means unlimited. Evaluation requests
+	// are not gated — they are orders of magnitude cheaper.
+	MaxMineInFlight int
+	// MaxParallelism caps the enumeration worker count any single request may
+	// use, whatever it asks for; zero means DefaultMaxParallelism (GOMAXPROCS),
+	// negative means unclamped.
+	MaxParallelism int
+	// MaxSessions caps live warm mining sessions. Zero means
+	// DefaultMaxSessions, negative means unlimited.
+	MaxSessions int
+	// SessionIdleTTL evicts sessions unused for this long. Zero means
+	// DefaultSessionIdleTTL, negative disables eviction.
+	SessionIdleTTL time.Duration
+}
+
+// The admission defaults applied for zero Config fields.
+const (
+	// DefaultMaxMineInFlight is the default bound on concurrent mining jobs.
+	DefaultMaxMineInFlight = 4
+	// DefaultMaxSessions is the default cap on live mining sessions.
+	DefaultMaxSessions = 64
+	// DefaultSessionIdleTTL is the default idle eviction horizon.
+	DefaultSessionIdleTTL = 15 * time.Minute
+)
+
+// withDefaults resolves the zero-value fields to the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxMineInFlight == 0 {
+		c.MaxMineInFlight = DefaultMaxMineInFlight
+	}
+	if c.MaxParallelism == 0 {
+		c.MaxParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
+	if c.SessionIdleTTL == 0 {
+		c.SessionIdleTTL = DefaultSessionIdleTTL
+	}
+	return c
+}
+
+// EngineAPI is the stateless request surface of the serving layer: the
+// remote-procedure shape of support.Engine.Do and Engine.Update. The HTTP
+// handler is one thin transport over this interface; a gRPC transport would
+// implement the same methods from generated stubs.
+type EngineAPI interface {
+	// Evaluate computes support measures for one pattern on the current
+	// epoch.
+	Evaluate(req *EvaluateRequest) (*EvaluateResponse, error)
+	// Mine runs one frequent-pattern mining job on the current epoch.
+	Mine(req *MineWire) (*MineResponse, error)
+	// Mutate applies a mutation batch and hands off a new snapshot epoch.
+	Mutate(req *MutateRequest) (*MutateResponse, error)
+	// Stats describes the serving state (epoch, graph dimensions, load).
+	Stats() (*StatsResponse, error)
+}
+
+// SessionAPI is the stateful half: warm mining sessions with server-side
+// incremental state, the remote shape of Engine.OpenSession.
+type SessionAPI interface {
+	// OpenSession starts a warm mining session and returns its initial
+	// result.
+	OpenSession(req *OpenSessionRequest) (*SessionResponse, error)
+	// RefreshSession re-answers the session's mining question on the current
+	// epoch from incrementally maintained state.
+	RefreshSession(req *SessionRequest) (*SessionResponse, error)
+	// CloseSession releases the session's server-side state.
+	CloseSession(req *SessionRequest) (*CloseSessionResponse, error)
+}
+
+// Server serves one long-lived support.Engine to many concurrent clients:
+// it implements EngineAPI and SessionAPI on top of the engine and exposes
+// them over HTTP/JSON via Handler. One process, one engine, one frozen
+// snapshot per epoch — shared by every client instead of re-loaded per run.
+type Server struct {
+	eng *support.Engine
+	cfg Config
+	// source labels the engine's data source for Stats ("graph", "snapshot"
+	// or "store").
+	source string
+
+	sessions *sessionManager
+	// mineSem is the admission semaphore for mining jobs; nil when
+	// unlimited.
+	mineSem chan struct{}
+	// mineInFlight counts currently admitted mining jobs for Stats.
+	mineInFlight atomic.Int64
+	// now is the clock; tests override it to drive idle eviction.
+	now func() time.Time
+}
+
+var _ EngineAPI = (*Server)(nil)
+var _ SessionAPI = (*Server)(nil)
+
+// New returns a server over an already-constructed engine. The engine's
+// lifetime belongs to the caller (Close the server first, then the engine).
+func New(eng *support.Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		eng:      eng,
+		cfg:      cfg,
+		source:   engineSource(eng),
+		sessions: newSessionManager(cfg.MaxSessions),
+		now:      time.Now,
+	}
+	if cfg.MaxMineInFlight > 0 {
+		s.mineSem = make(chan struct{}, cfg.MaxMineInFlight)
+	}
+	return s
+}
+
+// engineSource classifies the engine's data source for Stats.
+func engineSource(eng *support.Engine) string {
+	if _, ok := eng.Residency(); ok {
+		return "store"
+	}
+	if eng.Mutable() {
+		return "graph"
+	}
+	return "snapshot"
+}
+
+// Engine returns the engine the server serves.
+func (s *Server) Engine() *support.Engine { return s.eng }
+
+// Close releases the server's sessions. The engine is left open — it belongs
+// to the caller.
+func (s *Server) Close() { s.sessions.closeAll() }
+
+// EvictIdleSessions closes every session idle for longer than the configured
+// TTL and returns how many were evicted. cmd/gserved calls this from a
+// janitor ticker; tests call it directly with a shifted clock.
+func (s *Server) EvictIdleSessions() int {
+	if s.cfg.SessionIdleTTL < 0 {
+		return 0
+	}
+	return s.sessions.evictIdle(s.now().Add(-s.cfg.SessionIdleTTL))
+}
+
+// admitMine blocks until the mining admission semaphore grants a slot and
+// returns the release function.
+func (s *Server) admitMine() func() {
+	if s.mineSem == nil {
+		s.mineInFlight.Add(1)
+		return func() { s.mineInFlight.Add(-1) }
+	}
+	s.mineSem <- struct{}{}
+	s.mineInFlight.Add(1)
+	return func() {
+		s.mineInFlight.Add(-1)
+		<-s.mineSem
+	}
+}
+
+// Evaluate implements EngineAPI: one support evaluation on the current
+// epoch, snapshot-pinned (never blocked by writers).
+func (s *Server) Evaluate(req *EvaluateRequest) (*EvaluateResponse, error) {
+	p, err := req.Pattern.Pattern()
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	resp, err := s.eng.Do(&support.Request{
+		Pattern:  p,
+		Measures: req.Measures,
+		Explain:  req.Explain,
+		Options:  engineOptions(s.eng.Options(), req.Options, s.cfg.MaxParallelism),
+	})
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	return encodeEvaluation(resp), nil
+}
+
+// Mine implements EngineAPI: one admission-gated mining run on the current
+// epoch.
+func (s *Server) Mine(req *MineWire) (*MineResponse, error) {
+	spec, err := req.MineSpec()
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	spec.Workers = clampParallelism(spec.Workers, s.cfg.MaxParallelism)
+	release := s.admitMine()
+	defer release()
+	resp, err := s.eng.Do(&support.Request{
+		Mine:    spec,
+		Options: engineOptions(s.eng.Options(), req.Options, s.cfg.MaxParallelism),
+	})
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	return encodeMining(resp.Epoch, resp.Mining), nil
+}
+
+// Mutate implements EngineAPI: apply a batch of vertex/edge additions and
+// refreeze. Duplicate vertices (same label) and duplicate edges are skipped,
+// not errors, so clients can replay batches idempotently; conflicting labels,
+// self loops and dangling edges fail the batch (mutations applied before the
+// failure are still published, as Engine.Update documents).
+func (s *Server) Mutate(req *MutateRequest) (*MutateResponse, error) {
+	out := &MutateResponse{}
+	epoch, err := s.eng.Update(func(g *support.Graph) error {
+		for _, vw := range req.AddVertices {
+			id := support.VertexID(vw.ID)
+			fresh := !g.HasVertex(id)
+			if err := g.AddVertex(id, support.Label(vw.Label)); err != nil {
+				return err
+			}
+			if fresh {
+				out.AppliedVertices++
+			}
+		}
+		for _, e := range req.AddEdges {
+			u, v := support.VertexID(e[0]), support.VertexID(e[1])
+			if g.HasEdge(u, v) {
+				continue
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				return err
+			}
+			out.AppliedEdges++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	out.Epoch = epoch
+	return out, nil
+}
+
+// Stats implements EngineAPI.
+func (s *Server) Stats() (*StatsResponse, error) {
+	snap, epoch := s.eng.Current()
+	st := &StatsResponse{
+		Epoch:        epoch,
+		Source:       s.source,
+		Name:         snap.Name(),
+		Vertices:     snap.NumVertices(),
+		Edges:        snap.NumEdges(),
+		Shards:       snap.NumShards(),
+		ShardSize:    snap.ShardSize(),
+		Sessions:     s.sessions.count(),
+		MineInFlight: int(s.mineInFlight.Load()),
+	}
+	if rs, ok := s.eng.Residency(); ok {
+		st.Residency = rs.String()
+	}
+	return st, nil
+}
+
+// OpenSession implements SessionAPI. The initial result is refreshed under
+// the engine's reader lock so the reported epoch is exactly the one the
+// result corresponds to.
+func (s *Server) OpenSession(req *OpenSessionRequest) (*SessionResponse, error) {
+	spec, err := req.Mine.MineSpec()
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	spec.Workers = clampParallelism(spec.Workers, s.cfg.MaxParallelism)
+	release := s.admitMine()
+	defer release()
+	sess, err := s.eng.OpenSession(*spec)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	res, epoch, err := sess.Refresh()
+	if err != nil {
+		sess.Close()
+		return nil, err
+	}
+	ms, err := s.sessions.open(sess, s.now())
+	if err != nil {
+		sess.Close()
+		return nil, statusError{http.StatusTooManyRequests, err}
+	}
+	return &SessionResponse{
+		Session: ms.id,
+		Tracked: sess.TrackedPatterns(),
+		Result:  *encodeMining(epoch, res),
+	}, nil
+}
+
+// RefreshSession implements SessionAPI: one serialized, admission-gated
+// refresh of the named session.
+func (s *Server) RefreshSession(req *SessionRequest) (*SessionResponse, error) {
+	ms, err := s.sessions.get(req.Session)
+	if err != nil {
+		return nil, statusError{http.StatusNotFound, err}
+	}
+	release := s.admitMine()
+	defer release()
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if ms.closed {
+		return nil, statusError{http.StatusNotFound, fmt.Errorf("server: unknown session %q", req.Session)}
+	}
+	res, epoch, err := ms.sess.Refresh()
+	if err != nil {
+		return nil, err
+	}
+	ms.touch(s.now())
+	return &SessionResponse{
+		Session: ms.id,
+		Tracked: ms.sess.TrackedPatterns(),
+		Result:  *encodeMining(epoch, res),
+	}, nil
+}
+
+// CloseSession implements SessionAPI.
+func (s *Server) CloseSession(req *SessionRequest) (*CloseSessionResponse, error) {
+	if err := s.sessions.close(req.Session); err != nil {
+		return nil, statusError{http.StatusNotFound, err}
+	}
+	return &CloseSessionResponse{Closed: req.Session}, nil
+}
+
+// statusError carries an HTTP status through the transport-agnostic API
+// methods. Errors without one default to 500.
+type statusError struct {
+	code int
+	err  error
+}
+
+// Error implements error.
+func (e statusError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the wrapped error.
+func (e statusError) Unwrap() error { return e.err }
+
+// badRequest wraps a client-caused failure as HTTP 400.
+func badRequest(err error) error { return statusError{http.StatusBadRequest, err} }
+
+// Handler returns the server's HTTP/JSON surface:
+//
+//	POST   /v1/evaluate              EvaluateRequest  -> EvaluateResponse
+//	POST   /v1/mine                  MineWire         -> MineResponse
+//	POST   /v1/mutate                MutateRequest    -> MutateResponse
+//	POST   /v1/sessions              OpenSessionRequest -> SessionResponse
+//	POST   /v1/sessions/{id}/refresh (empty body)     -> SessionResponse
+//	DELETE /v1/sessions/{id}         (empty body)     -> CloseSessionResponse
+//	GET    /v1/stats                                  -> StatsResponse
+//	GET    /v1/healthz                                -> "ok"
+//
+// Errors are an ErrorWire body with a 4xx/5xx status. Responses carry no
+// timing fields: a body is a pure function of (request, epoch), which is how
+// the tests compare remote answers byte-for-byte against in-process ones.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
+		var req EvaluateRequest
+		handleJSON(w, r, &req, func() (any, error) { return s.Evaluate(&req) })
+	})
+	mux.HandleFunc("POST /v1/mine", func(w http.ResponseWriter, r *http.Request) {
+		var req MineWire
+		handleJSON(w, r, &req, func() (any, error) { return s.Mine(&req) })
+	})
+	mux.HandleFunc("POST /v1/mutate", func(w http.ResponseWriter, r *http.Request) {
+		var req MutateRequest
+		handleJSON(w, r, &req, func() (any, error) { return s.Mutate(&req) })
+	})
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req OpenSessionRequest
+		handleJSON(w, r, &req, func() (any, error) { return s.OpenSession(&req) })
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/refresh", func(w http.ResponseWriter, r *http.Request) {
+		req := SessionRequest{Session: r.PathValue("id")}
+		handleJSON(w, r, nil, func() (any, error) { return s.RefreshSession(&req) })
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		req := SessionRequest{Session: r.PathValue("id")}
+		handleJSON(w, r, nil, func() (any, error) { return s.CloseSession(&req) })
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(w, r, nil, func() (any, error) { return s.Stats() })
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// handleJSON decodes the request body into req (skipped when nil), invokes
+// the handler, and writes the JSON response or the mapped error.
+func handleJSON(w http.ResponseWriter, r *http.Request, req any, fn func() (any, error)) {
+	if req != nil {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(req); err != nil {
+			writeError(w, statusError{http.StatusBadRequest, fmt.Errorf("decode: %w", err)})
+			return
+		}
+	}
+	resp, err := fn()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// An encode failure here means the client hung up mid-body; there is no
+	// useful recovery.
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// writeError maps an error onto its HTTP status (500 unless the handler
+// attached one) with an ErrorWire body.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if se, ok := err.(statusError); ok {
+		code = se.code
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorWire{Error: err.Error()})
+}

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	support "repro"
+)
+
+// managedSession is one warm mining session under server management: the
+// engine session itself plus the bookkeeping the manager needs for
+// serialization (a session serves one request at a time) and idle eviction.
+type managedSession struct {
+	id string
+
+	// mu serializes refresh/close on this session. support.Session is not
+	// safe for concurrent use per instance; different sessions never contend
+	// on this lock.
+	mu       sync.Mutex
+	sess     *support.Session
+	lastUsed time.Time
+	closed   bool
+}
+
+// touch marks the session used now. Callers hold s.mu.
+func (s *managedSession) touch(now time.Time) { s.lastUsed = now }
+
+// sessionManager owns the server's live mining sessions: it issues IDs,
+// enforces the session cap, and evicts sessions idle past the TTL. All
+// methods are safe for concurrent use.
+type sessionManager struct {
+	mu       sync.Mutex
+	seq      uint64
+	max      int
+	sessions map[string]*managedSession
+}
+
+func newSessionManager(max int) *sessionManager {
+	return &sessionManager{max: max, sessions: make(map[string]*managedSession)}
+}
+
+// open registers a fresh engine session and returns its managed wrapper. It
+// fails when the session cap is reached — eviction is the caller's lever,
+// not open's.
+func (sm *sessionManager) open(sess *support.Session, now time.Time) (*managedSession, error) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if sm.max > 0 && len(sm.sessions) >= sm.max {
+		return nil, fmt.Errorf("server: session limit reached (%d open)", sm.max)
+	}
+	sm.seq++
+	ms := &managedSession{id: fmt.Sprintf("s%d", sm.seq), sess: sess, lastUsed: now}
+	sm.sessions[ms.id] = ms
+	return ms, nil
+}
+
+// get looks up a live session by ID.
+func (sm *sessionManager) get(id string) (*managedSession, error) {
+	sm.mu.Lock()
+	ms, ok := sm.sessions[id]
+	sm.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("server: unknown session %q", id)
+	}
+	return ms, nil
+}
+
+// count returns the number of live sessions.
+func (sm *sessionManager) count() int {
+	sm.mu.Lock()
+	n := len(sm.sessions)
+	sm.mu.Unlock()
+	return n
+}
+
+// close removes the session from the manager and closes it, releasing its
+// mutation-feed subscriptions. Closing an unknown ID is an error; closing
+// concurrently with a refresh waits for the refresh to finish.
+func (sm *sessionManager) close(id string) error {
+	sm.mu.Lock()
+	ms, ok := sm.sessions[id]
+	delete(sm.sessions, id)
+	sm.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("server: unknown session %q", id)
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if !ms.closed {
+		ms.closed = true
+		ms.sess.Close()
+	}
+	return nil
+}
+
+// evictIdle closes every session whose last use is before cutoff and returns
+// how many were evicted. Sessions busy with a refresh are left alone (their
+// lastUsed is re-stamped when the refresh completes).
+func (sm *sessionManager) evictIdle(cutoff time.Time) int {
+	sm.mu.Lock()
+	var victims []*managedSession
+	for id, ms := range sm.sessions {
+		if ms.mu.TryLock() {
+			if ms.lastUsed.Before(cutoff) && !ms.closed {
+				victims = append(victims, ms)
+				delete(sm.sessions, id)
+			} else {
+				ms.mu.Unlock()
+			}
+		}
+	}
+	sm.mu.Unlock()
+	for _, ms := range victims {
+		ms.closed = true
+		ms.sess.Close()
+		ms.mu.Unlock()
+	}
+	return len(victims)
+}
+
+// closeAll closes every live session; used on server shutdown.
+func (sm *sessionManager) closeAll() {
+	sm.mu.Lock()
+	all := make([]*managedSession, 0, len(sm.sessions))
+	for _, ms := range sm.sessions {
+		all = append(all, ms)
+	}
+	sm.sessions = make(map[string]*managedSession)
+	sm.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	for _, ms := range all {
+		ms.mu.Lock()
+		if !ms.closed {
+			ms.closed = true
+			ms.sess.Close()
+		}
+		ms.mu.Unlock()
+	}
+}

@@ -173,6 +173,11 @@ func RandomGeometric(n int, radius float64, labelCount int, seed uint64) *Graph 
 }
 
 // ContextOptions controls occurrence enumeration when building a Context.
+//
+// Deprecated: ContextOptions predates the unified EngineOptions surface and
+// is kept for compatibility; it remains fully functional. New code should
+// construct an Engine with EngineOptions (or keep calling the thin wrappers,
+// which translate for you).
 type ContextOptions struct {
 	// MaxOccurrences caps occurrence enumeration; zero means unlimited. A
 	// positive cap forces sequential enumeration so the kept prefix is
@@ -209,6 +214,45 @@ type ContextOptions struct {
 	// graph argument, which may then be nil. Shards is ignored: the
 	// snapshot's own shard geometry applies.
 	Snapshot *Snapshot
+}
+
+// engineOptions projects the deprecated ContextOptions onto the unified
+// EngineOptions surface (the Snapshot field travels separately: it selects
+// the engine's source, not an option).
+func (o ContextOptions) engineOptions() EngineOptions {
+	return EngineOptions{
+		MaxOccurrences: o.MaxOccurrences,
+		Parallelism:    o.Parallelism,
+		Shards:         o.Shards,
+		DisablePlanner: o.DisablePlanner,
+		DisableKernels: o.DisableKernels,
+		Streaming:      o.Streaming,
+	}
+}
+
+// engineOptionsFromMiner collects the enumeration-level knobs scattered over
+// a MinerConfig into EngineOptions; mineSpec collects the mining-level rest.
+func engineOptionsFromMiner(cfg MinerConfig) EngineOptions {
+	return EngineOptions{
+		MaxOccurrences: cfg.MaxOccurrences,
+		Parallelism:    cfg.EnumParallelism,
+		Shards:         cfg.EnumShards,
+		DisablePlanner: cfg.EnumDisablePlanner,
+		DisableKernels: cfg.EnumDisableKernels,
+		Streaming:      cfg.Streaming,
+	}
+}
+
+// mineSpec collects the mining-level knobs of a MinerConfig into a MineSpec.
+func mineSpec(cfg MinerConfig) *MineSpec {
+	return &MineSpec{
+		MinSupport:          cfg.MinSupport,
+		MaxPatternSize:      cfg.MaxPatternSize,
+		MaxPatterns:         cfg.MaxPatterns,
+		Measure:             cfg.Measure,
+		Workers:             cfg.Parallelism,
+		MaterializeContexts: cfg.MaterializeContexts,
+	}
 }
 
 // NewContext enumerates the occurrences and instances of p in g and builds
@@ -257,25 +301,24 @@ func Evaluate(g *Graph, p *Pattern, names ...string) (*Evaluation, error) {
 // EvaluateWithOptions is Evaluate with explicit context options: enumeration
 // parallelism, streaming mode and the occurrence cap. On a streaming context
 // with no explicit measure names only the streaming-capable measures (MNI and
-// the raw counts) are evaluated.
+// the raw counts) are evaluated. It is a thin wrapper over the Engine path:
+// a throwaway Engine is built and the evaluation runs as one Request.
 func EvaluateWithOptions(g *Graph, p *Pattern, opts ContextOptions, names ...string) (*Evaluation, error) {
-	ctx, err := NewContext(g, p, opts)
+	if opts.Snapshot != nil {
+		return EvaluateSnapshot(opts.Snapshot, p, opts, names...)
+	}
+	if g == nil || p == nil {
+		return nil, fmt.Errorf("core: nil graph or pattern")
+	}
+	e, err := NewEngine(g, opts.engineOptions())
 	if err != nil {
 		return nil, err
 	}
-	if len(names) == 0 {
-		return measures.Evaluate(ctx)
+	resp, err := e.Do(&Request{Pattern: p, Measures: names})
+	if err != nil {
+		return nil, err
 	}
-	reg := measures.NewRegistry()
-	ms := make([]Measure, 0, len(names))
-	for _, n := range names {
-		m, err := reg.New(n)
-		if err != nil {
-			return nil, err
-		}
-		ms = append(ms, m)
-	}
-	return measures.Evaluate(ctx, ms...)
+	return resp.Evaluation, nil
 }
 
 // NewDeltaContext builds the streamed aggregates of p in g and keeps them
@@ -309,13 +352,22 @@ func VerifyBoundingChain(g *Graph, p *Pattern) error {
 }
 
 // Mine runs the frequent-subgraph miner over g with the given configuration.
-// The zero MeasureName means MNI. See MinerConfig for all knobs.
+// The zero MeasureName means MNI. See MinerConfig for all knobs. It is a
+// thin wrapper over the Engine path: the graph is frozen once and the run
+// executes as one mining Request on the pinned snapshot.
 func Mine(g *Graph, cfg MinerConfig) (*MinerResult, error) {
-	m, err := miner.New(g, cfg)
+	if g == nil {
+		return nil, fmt.Errorf("miner: nil data graph")
+	}
+	e, err := NewEngine(g, engineOptionsFromMiner(cfg))
 	if err != nil {
 		return nil, err
 	}
-	return m.Mine()
+	resp, err := e.Do(&Request{Mine: mineSpec(cfg)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Mining, nil
 }
 
 // MineIncremental starts an incremental mining session over g: the initial
@@ -323,7 +375,9 @@ func Mine(g *Graph, cfg MinerConfig) (*MinerResult, error) {
 // re-answers the frequent-pattern question from live delta-maintained
 // support state instead of a cold re-mine. Requires a streaming-capable
 // measure (the default MNI is) and zero MaxOccurrences/MaxPatterns; close
-// the session when done.
+// the session when done. It is the in-process, engine-less form of
+// Engine.OpenSession (which adds the writer/reader locking a long-lived
+// server needs).
 func MineIncremental(g *Graph, cfg MinerConfig) (*IncrementalMiner, error) {
 	return miner.NewIncremental(g, cfg)
 }
@@ -363,11 +417,18 @@ func ParseResidencyBudget(s string) (bytes int64, frac float64, err error) {
 // was frozen from; cfg.EnumShards is ignored in favor of the snapshot's own
 // shard geometry.
 func MineSnapshot(snap *Snapshot, cfg MinerConfig) (*MinerResult, error) {
-	m, err := miner.NewSnapshot(snap, cfg)
+	if snap == nil {
+		return nil, fmt.Errorf("miner: nil snapshot")
+	}
+	e, err := NewSnapshotEngine(snap, engineOptionsFromMiner(cfg))
 	if err != nil {
 		return nil, err
 	}
-	return m.Mine()
+	resp, err := e.Do(&Request{Mine: mineSpec(cfg)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Mining, nil
 }
 
 // EvaluateSnapshot computes the given measures (all default measures when
@@ -375,8 +436,18 @@ func MineSnapshot(snap *Snapshot, cfg MinerConfig) (*MinerResult, error) {
 // typically a store-opened, mmap-backed one. It is Evaluate for data that
 // has no mutable Graph behind it.
 func EvaluateSnapshot(snap *Snapshot, p *Pattern, opts ContextOptions, names ...string) (*Evaluation, error) {
-	opts.Snapshot = snap
-	return EvaluateWithOptions(nil, p, opts, names...)
+	if snap == nil || p == nil {
+		return nil, fmt.Errorf("core: nil graph or pattern")
+	}
+	e, err := NewSnapshotEngine(snap, opts.engineOptions())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := e.Do(&Request{Pattern: p, Measures: names})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Evaluation, nil
 }
 
 // MineWithMeasure is a convenience wrapper around Mine that selects the
