@@ -1,0 +1,69 @@
+// Command gvet is the repository's invariant multichecker. It runs the
+// five internal/analysis passes — snapshotmut, lockscope, pairing,
+// hotalloc, determinism — over the packages matching its arguments
+// (default ./...) and exits non-zero when any finding survives the
+// //gvet:ignore directives. CI runs it over the whole module; see the
+// "Checked invariants" section of ARCHITECTURE.md for what each pass
+// enforces and how to annotate deliberate exceptions.
+//
+// Usage:
+//
+//	go run ./cmd/gvet [-list] [packages]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and their docs, then exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: gvet [-list] [packages]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%s\n\t%s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if err := run(flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "gvet:", err)
+		os.Exit(2)
+	}
+}
+
+// run loads every package matching the patterns and reports the surviving
+// findings of the full suite; any finding is an error exit.
+func run(patterns []string) error {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := analysis.GoList(patterns...)
+	if err != nil {
+		return err
+	}
+	loader := analysis.NewLoader()
+	suite := analysis.Analyzers()
+	found := 0
+	for _, m := range metas {
+		pkg, err := loader.Load(m.Dir, m.Path)
+		if err != nil {
+			return err
+		}
+		for _, d := range analysis.Check(pkg, suite) {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "gvet: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+	return nil
+}

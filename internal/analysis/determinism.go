@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism checks the wire contract: for a fixed snapshot epoch the
+// server's responses are byte-identical across runs. It flags
+// map-range loops that accumulate into an order-carrying slice without a
+// subsequent sort of that slice in the same function (Go randomizes map
+// iteration, so the emitted order would differ run to run), and — inside
+// the server package, whose functions build responses — references to
+// wall-clock time (time.Now/Since/Until) and math/rand.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flag map-range iteration feeding emitted order without a sort, and " +
+		"time.Now/math-rand use in server response building; responses must be byte-identical per epoch",
+	Run: runDeterminism,
+}
+
+// sortCalleeNames are the sorting calls that restore a deterministic order
+// to a slice accumulated from a map range.
+var sortCalleeNames = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func runDeterminism(pass *Pass) {
+	serverPkg := pass.Pkg.Types != nil && pass.Pkg.Types.Name() == "server"
+	for _, f := range pass.Pkg.Files {
+		enclosingFuncs(f, func(fn *ast.FuncDecl) {
+			checkMapRangeOrder(pass, fn)
+		})
+		if serverPkg {
+			checkClockAndRand(pass, f)
+		}
+	}
+}
+
+// checkMapRangeOrder flags appends into an outer slice from inside a
+// map-range body when the enclosing function never sorts that slice.
+func checkMapRangeOrder(pass *Pass, fn *ast.FuncDecl) {
+	sorted := sortedSinks(pass, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(pass.Pkg.Info.TypeOf(rng.X)) {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			asg, ok := m.(*ast.AssignStmt)
+			if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+				return true
+			}
+			sink, ok := appendSink(pass, asg, rng)
+			if !ok || sorted[sink] {
+				return true
+			}
+			pass.Reportf(asg.Pos(), "append to %s while ranging over a map emits nondeterministic order; sort %s afterwards or range over sorted keys", sink, sink)
+			return true
+		})
+		return true
+	})
+}
+
+// appendSink recognizes `sink = append(sink, ...)` inside a map-range body
+// where sink is a plain identifier declared outside the loop, returning
+// the sink's name. Map- or index-addressed destinations carry no iteration
+// order and are ignored.
+func appendSink(pass *Pass, asg *ast.AssignStmt, rng *ast.RangeStmt) (string, bool) {
+	id, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return "", false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	if pkg, name := callee(pass, call); pkg != "" || name != "append" {
+		return "", false
+	}
+	obj := pass.Pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Pkg.Info.Defs[id]
+	}
+	if obj == nil || obj.Pos() >= rng.Pos() {
+		return "", false // declared inside the loop: per-iteration, no order
+	}
+	return id.Name, true
+}
+
+// sortedSinks collects the expression strings passed to sorting calls
+// anywhere in the function; a sink in this set regains a deterministic
+// order before use.
+func sortedSinks(pass *Pass, fn *ast.FuncDecl) map[string]bool {
+	sinks := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		pkgPath, name := callee(pass, call)
+		if set, ok := sortCalleeNames[pkgPath]; ok && set[name] {
+			sinks[types.ExprString(call.Args[0])] = true
+		}
+		return true
+	})
+	return sinks
+}
+
+// checkClockAndRand flags wall-clock and math/rand references in the
+// server package, where every function is within reach of response
+// building.
+func checkClockAndRand(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.Pkg.Info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		switch obj.Pkg().Path() {
+		case "time":
+			switch sel.Sel.Name {
+			case "Now", "Since", "Until":
+				pass.Reportf(sel.Pos(), "time.%s in the server package; responses must be byte-identical per epoch, so inject a clock and keep it out of response bodies", sel.Sel.Name)
+			}
+		case "math/rand", "math/rand/v2":
+			pass.Reportf(sel.Pos(), "math/rand in the server package; responses must be byte-identical per epoch, use a seeded source outside response building")
+		}
+		return true
+	})
+}

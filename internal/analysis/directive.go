@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ignorePrefix introduces a per-line suppression. The full form is
+// "//gvet:ignore pass[,pass...] reason", with the reason mandatory.
+const ignorePrefix = "//gvet:ignore"
+
+// hotpathDirective marks a function's doc comment as a hot path, opting the
+// function into the hotalloc pass.
+const hotpathDirective = "//gvet:hotpath"
+
+// ignoreDirective is one parsed, well-formed //gvet:ignore comment.
+type ignoreDirective struct {
+	file   string
+	line   int
+	passes []string
+	reason string
+}
+
+// scanIgnoreDirectives collects the well-formed ignore directives of a
+// package and reports a finding (pseudo-pass "gvet") for each malformed
+// one: a missing reason or an unknown pass name silently ignoring nothing
+// is exactly the kind of rot the directive's mandatory reason exists to
+// prevent.
+func scanIgnoreDirectives(pkg *Package, known map[string]bool) ([]ignoreDirective, []Diagnostic) {
+	var directives []ignoreDirective
+	var errs []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				report := func(msg string) {
+					errs = append(errs, Diagnostic{Pos: pos, Pass: "gvet", Message: msg})
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report("//gvet:ignore needs a pass name and a reason")
+					continue
+				}
+				passes := strings.Split(fields[0], ",")
+				bad := false
+				for _, p := range passes {
+					if !known[p] {
+						report("//gvet:ignore names unknown pass " + quote(p))
+						bad = true
+					}
+				}
+				if bad {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+				if reason == "" {
+					report("//gvet:ignore " + fields[0] + " has no reason; the reason is mandatory")
+					continue
+				}
+				directives = append(directives, ignoreDirective{
+					file:   pos.Filename,
+					line:   pos.Line,
+					passes: passes,
+					reason: reason,
+				})
+			}
+		}
+	}
+	return directives, errs
+}
+
+// quote quotes a directive token for a finding message.
+func quote(s string) string { return "\"" + s + "\"" }
+
+// isHotPath reports whether a function's doc comment carries the
+// //gvet:hotpath directive.
+func isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(c.Text, hotpathDirective) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,760 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file implements the lightweight path-sensitive walker that the
+// lockscope and pairing passes share. It abstracts a function body into
+// acquire/release events over a held-resource state and checks, at every
+// exit point (return, bare panic, falling off the end), that nothing
+// definitely-held lacks a release or a covering defer.
+//
+// The walker is deliberately biased against false positives rather than
+// complete: branch joins keep the minimum held count (a resource acquired
+// on only one arm is not reported at a later shared exit — but every
+// return inside that arm is still checked with the arm's own exact state),
+// loop bodies are walked once, and break/continue leave the analysis of
+// their path. These are the shapes the repository actually uses; the
+// seeded testdata packages pin the shapes the walker must catch.
+
+// eventKind discriminates what a call expression means to the walker.
+type eventKind int
+
+const (
+	// evNone is an ordinary call.
+	evNone eventKind = iota
+	// evAcquire acquires a keyed resource (a lock, a shard pin).
+	evAcquire
+	// evRelease releases a keyed resource.
+	evRelease
+	// evHandleAcquire returns an owned handle that must be closed
+	// (a feed, a session, a store). Only statement-level calls and
+	// single-call assignments create tokens; a handle passed, stored or
+	// returned immediately escapes to its new owner.
+	evHandleAcquire
+	// evHandleRelease closes a handle (a Close method on a tracked local).
+	evHandleRelease
+)
+
+// flowEvent is the classification of one call.
+type flowEvent struct {
+	kind eventKind
+	// key identifies the resource for evAcquire/evRelease.
+	key string
+	// what names the resource in diagnostics.
+	what string
+	// soft marks conditional acquisitions (TryLock): they enable in-region
+	// checks but are never themselves reported as leaked.
+	soft bool
+	// guard marks acquisitions that open a no-blocking-calls region
+	// (lockscope's snapMu / engine write lock).
+	guard bool
+}
+
+// heldRes is one resource the current path holds.
+type heldRes struct {
+	key      string
+	what     string
+	pos      token.Pos // acquire site
+	count    int
+	soft     bool
+	guard    bool
+	deferred bool         // a deferred release covers every later exit
+	obj      types.Object // bound handle local; nil for keyed resources
+	errObj   types.Object // paired error result; nil-checked paths drop the token
+}
+
+// flowState is the held-resource set of one path.
+type flowState struct {
+	held map[string]*heldRes
+}
+
+func newFlowState() *flowState {
+	return &flowState{held: make(map[string]*heldRes)}
+}
+
+func (st *flowState) clone() *flowState {
+	c := newFlowState()
+	for k, r := range st.held {
+		cp := *r
+		c.held[k] = &cp
+	}
+	return c
+}
+
+// hasGuard reports whether any write-guard resource is currently held.
+func (st *flowState) hasGuard() (*heldRes, bool) {
+	for _, r := range st.held {
+		if r.guard && r.count > 0 {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// mergeFlow joins two fallthrough states with minimum held counts: a
+// resource is considered held after a branch only when every arm holds it.
+// nil means the arm terminated (returned) and contributes nothing.
+func mergeFlow(a, b *flowState) *flowState {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	m := newFlowState()
+	for k, ra := range a.held {
+		rb, ok := b.held[k]
+		if !ok {
+			continue
+		}
+		cp := *ra
+		if rb.count < cp.count {
+			cp.count = rb.count
+		}
+		cp.soft = ra.soft || rb.soft
+		cp.deferred = ra.deferred || rb.deferred
+		if cp.count > 0 {
+			m.held[k] = &cp
+		}
+	}
+	return m
+}
+
+// flowHooks parameterizes the walker with one pass's resource model.
+type flowHooks struct {
+	// classify maps a call to its event. The walker resolves handle
+	// binding and escape itself.
+	classify func(call *ast.CallExpr) flowEvent
+	// onCall, when non-nil, is invoked for every call with the current
+	// held state (lockscope's blocking-region check).
+	onCall func(call *ast.CallExpr, st *flowState)
+	// leak reports a resource held at an exit point without a release or
+	// covering defer on that path.
+	leak func(r *heldRes, exitPos token.Pos, exitKind string)
+	// skipFunc, when non-nil, excludes functions from the walk (the
+	// forwarding wrappers and implementations of the pair methods
+	// themselves).
+	skipFunc func(fn *ast.FuncDecl) bool
+}
+
+// flowWalker drives flowHooks over every function body of a package.
+type flowWalker struct {
+	pass  *Pass
+	hooks flowHooks
+}
+
+// walk analyzes every function of the package, including function
+// literals (each with its own fresh state: resources do not flow across
+// goroutine or closure boundaries).
+func (w *flowWalker) walk() {
+	for _, f := range w.pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if w.hooks.skipFunc != nil && w.hooks.skipFunc(fn) {
+				continue
+			}
+			w.walkBody(fn.Body)
+		}
+	}
+}
+
+// walkBody analyzes one function body from an empty held state.
+func (w *flowWalker) walkBody(body *ast.BlockStmt) {
+	st := newFlowState()
+	if out := w.walkStmts(body.List, st); out != nil {
+		w.checkExit(body.End(), out, "end of function")
+	}
+}
+
+// walkStmts walks a statement list, threading the state through; it
+// returns nil when the path terminates (every suffix is unreachable).
+func (w *flowWalker) walkStmts(list []ast.Stmt, st *flowState) *flowState {
+	cur := st
+	for _, s := range list {
+		if cur == nil {
+			return nil
+		}
+		cur = w.walkStmt(s, cur)
+	}
+	return cur
+}
+
+// walkStmt walks one statement; nil means the path terminated.
+func (w *flowWalker) walkStmt(s ast.Stmt, st *flowState) *flowState {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				for _, a := range call.Args {
+					w.walkExpr(a, st)
+				}
+				w.checkExit(s.Pos(), st, "panic")
+				return nil
+			}
+			if ev := w.hooks.classify(call); ev.kind == evHandleAcquire {
+				// Result discarded: the handle is owned here and can
+				// never be released.
+				w.callPre(call, st)
+				w.acquire(st, ev, call.Pos(), nil)
+				return st
+			}
+		}
+		w.walkExpr(s.X, st)
+		return st
+
+	case *ast.AssignStmt:
+		w.walkAssign(s, st)
+		return st
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if len(vs.Values) == 1 && len(vs.Names) >= 1 {
+					if call, ok := vs.Values[0].(*ast.CallExpr); ok {
+						if ev := w.hooks.classify(call); ev.kind == evHandleAcquire {
+							w.callPre(call, st)
+							w.acquire(st, ev, call.Pos(), w.objOf(vs.Names[0]))
+							continue
+						}
+					}
+				}
+				for _, v := range vs.Values {
+					w.walkExpr(v, st)
+				}
+			}
+		}
+		return st
+
+	case *ast.DeferStmt:
+		w.walkDefer(s, st)
+		return st
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.walkExpr(r, st)
+		}
+		w.checkExit(s.Pos(), st, "return")
+		return nil
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			if st = w.walkStmt(s.Init, st); st == nil {
+				return nil
+			}
+		}
+		thenSt := st.clone()
+		// Condition events (a TryLock) hold only on the then arm.
+		w.walkExpr(s.Cond, thenSt)
+		var elseSt *flowState = st.clone()
+		// The error-idiom refinement: on the arm where a handle's paired
+		// error is non-nil, the acquire failed and nothing is owed.
+		if obj, eq := nilCheckedObj(w, s.Cond); obj != nil {
+			failSt := thenSt // "err != nil" fails on the then arm
+			if eq {
+				failSt = elseSt // "err == nil" fails on the else arm
+			}
+			dropErrTokens(failSt, obj)
+		}
+		thenOut := w.walkStmts(s.Body.List, thenSt)
+		elseOut := elseSt
+		if s.Else != nil {
+			elseOut = w.walkStmt(s.Else, elseSt)
+		}
+		return mergeFlow(thenOut, elseOut)
+
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			if st = w.walkStmt(s.Init, st); st == nil {
+				return nil
+			}
+		}
+		bodySt := st.clone()
+		if s.Cond != nil {
+			w.walkExpr(s.Cond, bodySt)
+		}
+		bodyOut := w.walkStmts(s.Body.List, bodySt)
+		if bodyOut != nil && s.Post != nil {
+			bodyOut = w.walkStmt(s.Post, bodyOut)
+		}
+		if s.Cond == nil && bodyOut == nil && !hasBreak(s.Body) {
+			return nil // for{} whose body always terminates
+		}
+		return mergeFlow(st, bodyOut)
+
+	case *ast.RangeStmt:
+		w.walkExpr(s.X, st)
+		bodySt := st.clone()
+		bodyOut := w.walkStmts(s.Body.List, bodySt)
+		return mergeFlow(st, bodyOut)
+
+	case *ast.SwitchStmt:
+		return w.walkCases(s.Init, s.Tag, s.Body, st)
+
+	case *ast.TypeSwitchStmt:
+		return w.walkCases(s.Init, nil, s.Body, st)
+
+	case *ast.SelectStmt:
+		var merged *flowState
+		terminated := true
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			caseSt := st.clone()
+			if cc.Comm != nil {
+				caseSt = w.walkStmt(cc.Comm, caseSt)
+			}
+			var out *flowState
+			if caseSt != nil {
+				out = w.walkStmts(cc.Body, caseSt)
+			}
+			if out != nil {
+				terminated = false
+				merged = mergeFlow(merged, out)
+			}
+		}
+		if terminated && len(s.Body.List) > 0 {
+			return nil
+		}
+		return mergeFlow(merged, nil)
+
+	case *ast.GoStmt:
+		w.callPre(s.Call, st)
+		return st
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave this path; their state is not merged
+		// back (documented approximation).
+		return nil
+
+	case *ast.IncDecStmt:
+		w.walkExpr(s.X, st)
+		return st
+
+	case *ast.SendStmt:
+		w.walkExpr(s.Chan, st)
+		w.walkExpr(s.Value, st)
+		return st
+
+	default:
+		// Conservative fallback: find calls and function literals.
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				w.walkExpr(n, st)
+				return false
+			case *ast.FuncLit:
+				w.walkBody(n.Body)
+				return false
+			}
+			return true
+		})
+		return st
+	}
+}
+
+// walkCases handles switch/type-switch clause bodies: each clause runs on
+// a clone of the entry state; when no default clause exists the untaken
+// path keeps the entry state.
+func (w *flowWalker) walkCases(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, st *flowState) *flowState {
+	if init != nil {
+		if st = w.walkStmt(init, st); st == nil {
+			return nil
+		}
+	}
+	if tag != nil {
+		w.walkExpr(tag, st)
+	}
+	var merged *flowState
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		caseSt := st.clone()
+		for _, e := range cc.List {
+			w.walkExpr(e, caseSt)
+		}
+		if out := w.walkStmts(cc.Body, caseSt); out != nil {
+			merged = mergeFlow(merged, out)
+		}
+	}
+	if !hasDefault {
+		merged = mergeFlow(merged, st)
+	}
+	return merged
+}
+
+// walkAssign handles handle binding (x := Acquire()) and rebinding; all
+// other assignments just walk their expressions.
+func (w *flowWalker) walkAssign(s *ast.AssignStmt, st *flowState) {
+	if len(s.Rhs) == 1 {
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+			if ev := w.hooks.classify(call); ev.kind == evHandleAcquire {
+				w.callPre(call, st)
+				var obj, errObj types.Object
+				if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					obj = w.objOf(id)
+					// Rebinding a tracked handle drops the old token.
+					w.dropObj(st, obj)
+				}
+				if len(s.Lhs) == 2 {
+					if id, ok := s.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+						if o := w.objOf(id); o != nil && isErrorType(o.Type()) {
+							errObj = o
+						}
+					}
+				}
+				if _, ok := s.Lhs[0].(*ast.Ident); ok {
+					w.acquire(st, ev, call.Pos(), obj)
+					if r := w.findObj(st, obj); r != nil {
+						r.errObj = errObj
+					}
+				}
+				// Assignment into a field/index hands ownership over:
+				// no token.
+				for _, l := range s.Lhs[1:] {
+					w.walkLHS(l, st)
+				}
+				if _, ok := s.Lhs[0].(*ast.Ident); !ok {
+					w.walkLHS(s.Lhs[0], st)
+				}
+				return
+			}
+		}
+	}
+	for _, r := range s.Rhs {
+		w.walkExpr(r, st)
+	}
+	for _, l := range s.Lhs {
+		w.walkLHS(l, st)
+	}
+}
+
+// walkLHS walks an assignment target: a plain identifier target is a
+// (re)definition, not a use, but any nested expression (index, selector
+// base) is walked normally.
+func (w *flowWalker) walkLHS(l ast.Expr, st *flowState) {
+	if _, ok := l.(*ast.Ident); ok {
+		return
+	}
+	w.walkExpr(l, st)
+}
+
+// walkDefer marks deferred releases (direct calls and calls inside a
+// deferred closure body) as covering every later exit of the function.
+func (w *flowWalker) walkDefer(s *ast.DeferStmt, st *flowState) {
+	markRelease := func(call *ast.CallExpr) {
+		switch ev := w.hooks.classify(call); ev.kind {
+		case evRelease:
+			if r, ok := st.held[ev.key]; ok {
+				r.deferred = true
+			}
+		case evHandleRelease:
+			if obj := w.receiverObj(call); obj != nil {
+				if r := w.findObj(st, obj); r != nil {
+					r.deferred = true
+				}
+			}
+		}
+	}
+	if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				markRelease(call)
+			}
+			return true
+		})
+		return
+	}
+	markRelease(s.Call)
+	for _, a := range s.Call.Args {
+		w.walkExpr(a, st)
+	}
+}
+
+// walkExpr walks one expression, applying keyed acquire/release events,
+// handle releases, and handle-escape on any other use of a tracked local.
+// Handle acquires inside larger expressions escape to their consumer and
+// create no token.
+func (w *flowWalker) walkExpr(e ast.Expr, st *flowState) {
+	switch e := e.(type) {
+	case nil:
+		return
+
+	case *ast.CallExpr:
+		if fl, ok := e.Fun.(*ast.FuncLit); ok {
+			w.walkBody(fl.Body)
+			for _, a := range e.Args {
+				w.walkExpr(a, st)
+			}
+			return
+		}
+		w.callPre(e, st)
+		switch ev := w.hooks.classify(e); ev.kind {
+		case evAcquire:
+			w.acquire(st, ev, e.Pos(), nil)
+		case evRelease:
+			w.release(st, ev.key)
+		case evHandleRelease:
+			if obj := w.receiverObj(e); obj != nil {
+				if r := w.findObj(st, obj); r != nil {
+					w.release(st, r.key)
+					return
+				}
+			}
+			// Close on something we do not track: walk normally (the
+			// receiver expression is not an escape of a tracked local —
+			// selector bases are walked by callPre).
+		}
+
+	case *ast.FuncLit:
+		w.walkBody(e.Body)
+
+	case *ast.Ident:
+		w.useIdent(e, st)
+
+	case *ast.SelectorExpr:
+		w.walkExpr(e.X, st)
+
+	case *ast.ParenExpr:
+		w.walkExpr(e.X, st)
+
+	case *ast.StarExpr:
+		w.walkExpr(e.X, st)
+
+	case *ast.UnaryExpr:
+		w.walkExpr(e.X, st)
+
+	case *ast.BinaryExpr:
+		w.walkExpr(e.X, st)
+		w.walkExpr(e.Y, st)
+
+	case *ast.IndexExpr:
+		w.walkExpr(e.X, st)
+		w.walkExpr(e.Index, st)
+
+	case *ast.SliceExpr:
+		w.walkExpr(e.X, st)
+		w.walkExpr(e.Low, st)
+		w.walkExpr(e.High, st)
+		w.walkExpr(e.Max, st)
+
+	case *ast.TypeAssertExpr:
+		w.walkExpr(e.X, st)
+
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.walkExpr(el, st)
+		}
+
+	case *ast.KeyValueExpr:
+		w.walkExpr(e.Key, st)
+		w.walkExpr(e.Value, st)
+	}
+}
+
+// callPre runs the per-call hook and walks the call's sub-expressions
+// (arguments and any selector base) for handle escapes.
+func (w *flowWalker) callPre(call *ast.CallExpr, st *flowState) {
+	if w.hooks.onCall != nil {
+		w.hooks.onCall(call, st)
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		// The receiver of a classified release is consumed, not escaped;
+		// classification happens in walkExpr. Every other receiver use of
+		// a tracked local is a use like any other — but a method call on
+		// the handle itself (f.Drain()) does not transfer ownership, so
+		// selector bases that are plain tracked idents are left alone.
+		if _, isIdent := sel.X.(*ast.Ident); !isIdent {
+			w.walkExpr(sel.X, st)
+		}
+	} else if fn, ok := call.Fun.(*ast.Ident); ok {
+		_ = fn // plain function name: not a value use
+	} else {
+		w.walkExpr(call.Fun, st)
+	}
+	for _, a := range call.Args {
+		w.walkExpr(a, st)
+	}
+}
+
+// useIdent drops the token of a tracked handle on any value use: the
+// handle escaped to another owner (returned, stored, passed), so release
+// responsibility is no longer local.
+func (w *flowWalker) useIdent(id *ast.Ident, st *flowState) {
+	obj := w.objOf(id)
+	if obj == nil {
+		return
+	}
+	w.dropObj(st, obj)
+}
+
+// objOf resolves an identifier to its object via uses or defs.
+func (w *flowWalker) objOf(id *ast.Ident) types.Object {
+	info := w.pass.Pkg.Info
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// receiverObj resolves the receiver identifier of a method call.
+func (w *flowWalker) receiverObj(call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return w.objOf(id)
+}
+
+// acquire records a resource acquisition.
+func (w *flowWalker) acquire(st *flowState, ev flowEvent, pos token.Pos, obj types.Object) {
+	key := ev.key
+	if key == "" {
+		key = fmt.Sprintf("anon:%d", pos)
+	}
+	if obj != nil {
+		key = fmt.Sprintf("h:%d", obj.Pos())
+	}
+	if r, ok := st.held[key]; ok {
+		r.count++
+		return
+	}
+	st.held[key] = &heldRes{
+		key:   key,
+		what:  ev.what,
+		pos:   pos,
+		count: 1,
+		soft:  ev.soft,
+		guard: ev.guard,
+		obj:   obj,
+	}
+}
+
+// release decrements a held resource; unmatched releases (a lock handed in
+// locked, a handle closed for a caller) are ignored.
+func (w *flowWalker) release(st *flowState, key string) {
+	r, ok := st.held[key]
+	if !ok {
+		return
+	}
+	r.count--
+	if r.count <= 0 {
+		delete(st.held, key)
+	}
+}
+
+// dropObj silently removes a tracked handle (it escaped).
+func (w *flowWalker) dropObj(st *flowState, obj types.Object) {
+	if r := w.findObj(st, obj); r != nil {
+		delete(st.held, r.key)
+	}
+}
+
+// findObj finds the token bound to a handle object.
+func (w *flowWalker) findObj(st *flowState, obj types.Object) *heldRes {
+	for _, r := range st.held {
+		if r.obj == obj {
+			return r
+		}
+	}
+	return nil
+}
+
+// checkExit reports every definitely-held, non-soft, non-deferred
+// resource at an exit point.
+func (w *flowWalker) checkExit(pos token.Pos, st *flowState, exitKind string) {
+	for _, r := range st.held {
+		if r.count > 0 && !r.soft && !r.deferred {
+			w.hooks.leak(r, pos, exitKind)
+		}
+	}
+}
+
+// nilCheckedObj recognizes an "x != nil" / "x == nil" condition over a
+// plain identifier, returning its object and whether the comparison is
+// equality (eq=true for "== nil").
+func nilCheckedObj(w *flowWalker, cond ast.Expr) (types.Object, bool) {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return nil, false
+	}
+	x, y := be.X, be.Y
+	if isNilIdent(x) {
+		x, y = y, x
+	}
+	if !isNilIdent(y) {
+		return nil, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	return w.objOf(id), be.Op == token.EQL
+}
+
+// isNilIdent reports whether an expression is the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// dropErrTokens removes every handle token paired with the given error
+// object: on this arm the acquire failed.
+func dropErrTokens(st *flowState, errObj types.Object) {
+	for k, r := range st.held {
+		if r.errObj == errObj {
+			delete(st.held, k)
+		}
+	}
+}
+
+// isErrorType reports whether t is the error interface.
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+// hasBreak reports whether a statement contains a break that could leave
+// the enclosing loop (approximate: nested loops/switches not discounted).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BranchStmt); ok && b.Tok == token.BREAK {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package as the analyzers see it:
+// non-test files only, with comments, plus the go/types objects the passes
+// resolve names against.
+type Package struct {
+	// Dir is the package directory on disk.
+	Dir string
+	// Path is the import path the package was checked under.
+	Path string
+	// Fset is the position table shared by every package of one Loader.
+	Fset *token.FileSet
+	// Files are the parsed non-test source files, in file-name order.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the identifier/selection resolutions of the check.
+	Info *types.Info
+}
+
+// Loader parses and type-checks packages from source with no dependencies
+// beyond the standard library: imports (stdlib and module-internal alike)
+// are resolved by the go/importer source importer, which shells out to the
+// go command for module paths — so Load must run with the module root as
+// (an ancestor of) the working directory, as `go run ./cmd/gvet` does.
+// One Loader shares its file set and import cache across all Load calls.
+type Loader struct {
+	// Fset is the position table shared by all packages of this loader.
+	Fset *token.FileSet
+	conf types.Config
+}
+
+// NewLoader returns a Loader with a fresh file set and import cache.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		conf: types.Config{Importer: importer.ForCompiler(fset, "source", nil)},
+	}
+}
+
+// ParseDir parses every non-test Go file of one package directory with
+// comments, in deterministic file-name order. Files excluded by build
+// constraints (//go:build lines or GOOS/GOARCH file suffixes) are skipped,
+// so platform-split pairs like mmap_unix.go/mmap_fallback.go never
+// redeclare. It is the package-walking helper shared by the analyzers and
+// internal/doclint.
+func ParseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, n); err != nil || !ok {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Load parses and type-checks the package in dir under the given import
+// path. Test files are skipped; a package that fails to type-check is an
+// error, not a finding.
+func (l *Loader) Load(dir, path string) (*Package, error) {
+	files, err := ParseDir(l.Fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no non-test Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := l.conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Dir: dir, Path: path, Fset: l.Fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// PackageMeta names one package resolved from a command-line pattern.
+type PackageMeta struct {
+	// Dir is the package directory.
+	Dir string
+	// Path is the package's import path.
+	Path string
+}
+
+// GoList expands package patterns ("./...", explicit paths) into package
+// directories and import paths using the go command, exactly as the build
+// would. Test-only and testdata packages are excluded, matching go list.
+func GoList(patterns ...string) ([]PackageMeta, error) {
+	args := append([]string{"list", "-f", "{{.Dir}}\t{{.ImportPath}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var metas []PackageMeta
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		dir, path, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("analysis: unexpected go list line %q", line)
+		}
+		metas = append(metas, PackageMeta{Dir: dir, Path: path})
+	}
+	return metas, nil
+}

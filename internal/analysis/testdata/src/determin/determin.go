@@ -1,0 +1,32 @@
+// Package determin seeds determinism violations: map-range iteration
+// feeding an order-carrying slice without a restoring sort.
+package determin
+
+import "sort"
+
+func emitUnsorted(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want "append to out while ranging over a map"
+	}
+	return out
+}
+
+// emitSorted passes: the sink is sorted before use.
+func emitSorted(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// emitKeyed passes: a map-addressed destination carries no iteration order.
+func emitKeyed(m map[int]string) map[int]string {
+	res := make(map[int]string, len(m))
+	for k, v := range m {
+		res[k] = v
+	}
+	return res
+}

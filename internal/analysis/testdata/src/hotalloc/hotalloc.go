@@ -1,0 +1,46 @@
+// Package hotalloc seeds hotalloc violations inside //gvet:hotpath
+// functions: map allocation, fmt use, closures and interface boxing.
+package hotalloc
+
+import "fmt"
+
+func consume(v any) {}
+
+// drainFast mimics a drain-loop kernel.
+//
+//gvet:hotpath
+func drainFast(xs []int) int {
+	seen := make(map[int]bool) // want "allocates in hot path; preallocate the map outside drainFast"
+	total := 0
+	for _, x := range xs {
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		total += x
+	}
+	fmt.Println(total)               // want "fmt.Println in hot path"
+	f := func() int { return total } // want "closure allocates in hot path"
+	return f()
+}
+
+// boxValue mimics a kernel calling through an any-typed helper.
+//
+//gvet:hotpath
+func boxValue(v int) {
+	consume(v) // want "boxes a concrete value into interface parameter of consume"
+}
+
+// cold is identical but unannotated: not checked.
+func cold(xs []int) int {
+	seen := make(map[int]bool)
+	total := 0
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			total += x
+		}
+	}
+	fmt.Println(total)
+	return total
+}

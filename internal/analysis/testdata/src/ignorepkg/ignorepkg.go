@@ -1,0 +1,24 @@
+// Package ignorepkg seeds both suppressed violations and malformed
+// //gvet:ignore directives for the directive-handling tests.
+package ignorepkg
+
+type shard struct {
+	ids []uint32
+}
+
+func suppressedWrite(sh *shard) {
+	sh.ids[0] = 1 //gvet:ignore snapshotmut testdata: exercising the same-line suppression path
+}
+
+func suppressedAbove(sh *shard) {
+	//gvet:ignore snapshotmut testdata: a directive on the line above also applies
+	sh.ids[0] = 2
+}
+
+func missingReason(sh *shard) {
+	sh.ids[0] = 3 //gvet:ignore snapshotmut
+}
+
+func unknownPass(sh *shard) {
+	sh.ids[0] = 4 //gvet:ignore snapshotmutt typo in the pass name
+}

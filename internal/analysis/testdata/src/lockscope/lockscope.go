@@ -1,0 +1,45 @@
+// Package lockscope seeds lockscope violations: blocking work under the
+// snapshot-cache lock and Lock calls left unpaired on an early return.
+package lockscope
+
+import "sync"
+
+type graph struct {
+	snapMu sync.Mutex
+	dirty  bool
+}
+
+type builder struct{}
+
+func (builder) FreezeSharded(shift uint) int { return int(shift) }
+
+func (g *graph) refreezeUnderLock(b builder) int {
+	g.snapMu.Lock()
+	defer g.snapMu.Unlock()
+	return b.FreezeSharded(4) // want "blocking call FreezeSharded while holding g.snapMu"
+}
+
+func (g *graph) leakyMark(v bool) {
+	g.snapMu.Lock()
+	if v {
+		return // want "g.snapMu locked at line 23 is still held at return"
+	}
+	g.dirty = v
+	g.snapMu.Unlock()
+}
+
+// clean critical sections pass: defer-paired, blocking work outside.
+func (g *graph) clean(b builder, v bool) int {
+	g.snapMu.Lock()
+	g.dirty = v
+	g.snapMu.Unlock()
+	return b.FreezeSharded(4)
+}
+
+// tryMark passes: TryLock is conditional, held only on the success arm.
+func (g *graph) tryMark() {
+	if g.snapMu.TryLock() {
+		g.dirty = true
+		g.snapMu.Unlock()
+	}
+}

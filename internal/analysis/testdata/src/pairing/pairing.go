@@ -1,0 +1,71 @@
+// Package pairing seeds pairing violations: shard pins and handle
+// constructors left unbalanced on some control-flow path.
+package pairing
+
+type residency struct{ pins map[int]int }
+
+func (r *residency) AcquireShard(k int) {}
+func (r *residency) ReleaseShard(k int) {}
+
+type feed struct{}
+
+func (f *feed) Close()     {}
+func (f *feed) Drain() int { return 0 }
+
+type graph struct{}
+
+func (g *graph) Subscribe() *feed               { return &feed{} }
+func (g *graph) NewIncremental() (*feed, error) { return &feed{}, nil }
+
+// pinned passes: acquire with a deferred release.
+func pinned(r *residency, k int) int {
+	r.AcquireShard(k)
+	defer r.ReleaseShard(k)
+	return k
+}
+
+func leakyPin(r *residency, k int, bad bool) int {
+	r.AcquireShard(k)
+	if bad {
+		return 0 // want "shard pin k acquired at line 28 is not released on this path"
+	}
+	r.ReleaseShard(k)
+	return k
+}
+
+func droppedFeed(g *graph) {
+	g.Subscribe()
+} // want "Subscribe handle acquired at line 37 is not released on this path"
+
+func leakyFeed(g *graph, n int) int {
+	f := g.Subscribe()
+	if n < 0 {
+		return 0 // want "Subscribe handle acquired at line 41 is not released on this path"
+	}
+	f.Close()
+	return n
+}
+
+// escapes passes: returning the handle transfers ownership to the caller.
+func escapes(g *graph) *feed {
+	f := g.Subscribe()
+	return f
+}
+
+// errIdiom passes: nothing is owed on the error arm, the success arm defers.
+func errIdiom(g *graph) (int, error) {
+	inc, err := g.NewIncremental()
+	if err != nil {
+		return 0, err
+	}
+	defer inc.Close()
+	return inc.Drain(), nil
+}
+
+func errIdiomLeak(g *graph) int {
+	inc, err := g.NewIncremental()
+	if err != nil {
+		return 0
+	}
+	return inc.Drain() // want "NewIncremental handle acquired at line 66 is not released on this path"
+}

@@ -1,0 +1,18 @@
+// Package server seeds the determinism pass's server-package rules:
+// wall-clock reads are findings unless suppressed with a reasoned ignore.
+package server
+
+import "time"
+
+type frame struct{ when int64 }
+
+func stamp(f *frame) {
+	f.when = time.Now().UnixNano() // want "time.Now in the server package"
+}
+
+type session struct{ deadline time.Time }
+
+// renew passes: the suppression names the pass and carries a reason.
+func renew(s *session, ttl time.Duration) {
+	s.deadline = time.Now().Add(ttl) //gvet:ignore determinism session TTL clock, never serialized into responses
+}

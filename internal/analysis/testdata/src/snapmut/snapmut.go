@@ -1,0 +1,53 @@
+// Package snapmut seeds snapshotmut violations: mutation of frozen CSR
+// arrays outside the freeze/builder allowlist, mirroring the shapes of
+// internal/graph with stdlib-only imports.
+package snapmut
+
+import "sort"
+
+type shard struct {
+	ids    []uint32
+	labels []uint32
+	rowPtr []uint32
+	colIdx []uint32
+}
+
+type Snapshot struct {
+	shards []shard
+}
+
+func (s *Snapshot) NeighborsAt(i int) []uint32 { return s.shards[0].colIdx }
+
+// buildShard is allowlisted by name: builders fill arrays before publication.
+func buildShard(sh *shard, n int) {
+	sh.rowPtr = make([]uint32, n+1)
+	sh.rowPtr[0] = 0
+}
+
+func relabel(s *Snapshot, v int, lab uint32) {
+	s.shards[0].labels[v] = lab // want "write to frozen snapshot array shard.labels"
+}
+
+func extend(sh *shard) []uint32 {
+	return append(sh.colIdx, 99) // want "append to frozen snapshot array shard.colIdx"
+}
+
+func resort(sh *shard) {
+	sort.Slice(sh.ids, func(i, j int) bool { return sh.ids[i] < sh.ids[j] }) // want "in-place sort.Slice on frozen snapshot array shard.ids"
+}
+
+func viaAlias(s *Snapshot) {
+	adj := s.NeighborsAt(0)
+	adj[0] = 7 // want "write to frozen snapshot array Snapshot.NeighborsAt"
+}
+
+func overwrite(sh *shard, src []uint32) {
+	copy(sh.labels, src) // want "copy into frozen snapshot array shard.labels"
+}
+
+// readers never trip the pass: reads, searches and fresh copies are fine.
+func readOnly(sh *shard, s *Snapshot) int {
+	i := sort.Search(len(sh.ids), func(j int) bool { return sh.ids[j] >= 5 })
+	fresh := append([]uint32(nil), sh.labels...)
+	return i + len(fresh) + len(s.NeighborsAt(0))
+}
