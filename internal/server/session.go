@@ -112,6 +112,7 @@ func (sm *sessionManager) evictIdle(cutoff time.Time) int {
 		}
 	}
 	sm.mu.Unlock()
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
 	for _, ms := range victims {
 		ms.closed = true
 		ms.sess.Close()
