@@ -196,6 +196,9 @@ func (d *DeltaContext) mutationBall(snap *graph.Snapshot, dirty map[graph.Vertex
 			frontier = append(frontier, i)
 		}
 	}
+	// Seeding in index order makes the whole BFS visit order — and every
+	// intermediate slice it builds — reproducible run to run.
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
 	ball = append(ball, frontier...)
 	if len(ball) > limit {
 		return nil, false
