@@ -16,12 +16,12 @@ package main
 import (
 	"fmt"
 	"go/ast"
-	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
 	"sort"
-	"strings"
+
+	"repro/internal/analysis"
 )
 
 func main() {
@@ -48,35 +48,36 @@ func main() {
 	}
 }
 
-// lintDir parses every non-test Go file of one package directory and returns
-// a finding per undocumented exported symbol.
+// lintDir parses every non-test Go file of one package directory (through
+// the shared analysis.ParseDir helper, so the file order — and with it the
+// finding order — is deterministic) and returns a finding per undocumented
+// exported symbol.
 func lintDir(dir string) ([]string, error) {
 	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.ParseComments)
+	files, err := analysis.ParseDir(fset, dir)
 	if err != nil {
 		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no non-test Go files in %s", dir)
 	}
 	var out []string
 	report := func(pos token.Pos, format string, args ...any) {
 		p := fset.Position(pos)
 		out = append(out, fmt.Sprintf("%s:%d: %s", filepath.ToSlash(p.Filename), p.Line, fmt.Sprintf(format, args...)))
 	}
-	for _, pkg := range pkgs {
-		hasPkgDoc := false
-		for _, f := range pkg.Files {
-			if f.Doc != nil {
-				hasPkgDoc = true
-			}
+	hasPkgDoc := false
+	for _, f := range files {
+		if f.Doc != nil {
+			hasPkgDoc = true
 		}
-		if !hasPkgDoc {
-			out = append(out, fmt.Sprintf("%s: package %s has no package comment", filepath.ToSlash(dir), pkg.Name))
-		}
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				lintDecl(decl, report)
-			}
+	}
+	if !hasPkgDoc {
+		out = append(out, fmt.Sprintf("%s: package %s has no package comment", filepath.ToSlash(dir), files[0].Name.Name))
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			lintDecl(decl, report)
 		}
 	}
 	return out, nil

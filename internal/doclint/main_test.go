@@ -1,0 +1,39 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLintDirUndocumented(t *testing.T) {
+	got, err := lintDir("testdata/undocumented")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"testdata/undocumented: package undocumented has no package comment",
+		"testdata/undocumented/pkg.go:3: exported constant Bare has no doc comment",
+		"testdata/undocumented/pkg.go:8: exported type Exported has no doc comment",
+		"testdata/undocumented/pkg.go:10: exported method Method has no doc comment",
+		"testdata/undocumented/pkg.go:12: exported function Helper has no doc comment",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("lintDir findings:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLintDirDocumented(t *testing.T) {
+	got, err := lintDir("testdata/documented")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("documented fixture produced findings: %q", got)
+	}
+}
+
+func TestLintDirMissing(t *testing.T) {
+	if _, err := lintDir("testdata/nonexistent"); err == nil {
+		t.Error("missing directory: want error, got nil")
+	}
+}

@@ -1,0 +1,16 @@
+// Package documented is the doclint fixture with a complete doc surface.
+package documented
+
+// Answer is documented.
+const Answer = 42
+
+// Exported is documented.
+type Exported struct{}
+
+// Method is documented.
+func (Exported) Method() {}
+
+type hidden struct{}
+
+// Exported methods of unexported types are outside the documented surface.
+func (hidden) Exported() {}

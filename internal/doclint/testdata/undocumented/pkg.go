@@ -1,0 +1,16 @@
+package undocumented
+
+const Bare = 2
+
+// Documented is fine.
+const Documented = 1
+
+type Exported struct{}
+
+func (Exported) Method() {}
+
+func Helper() {}
+
+type hidden struct{}
+
+func (hidden) Exported() {}
