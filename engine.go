@@ -292,7 +292,7 @@ func (e *Engine) Update(mutate func(g *Graph) error) (uint64, error) {
 	if mutate != nil {
 		mutErr = mutate(e.g)
 	}
-	snap := e.g.FreezeSharded(graph.FreezeOptions{Shards: e.opts.Shards})
+	snap := e.g.FreezeSharded(graph.FreezeOptions{Shards: e.opts.Shards}) //gvet:ignore lockscope deliberate epoch handoff: readers pin snapshots with an atomic load and never take e.mu, so the refreeze only serializes writers
 	next := &engineState{snap: snap, epoch: e.state.Load().epoch + 1}
 	e.state.Store(next)
 	return next.epoch, mutErr

@@ -120,7 +120,7 @@ func New(eng *support.Engine, cfg Config) *Server {
 		cfg:      cfg,
 		source:   engineSource(eng),
 		sessions: newSessionManager(cfg.MaxSessions),
-		now:      time.Now,
+		now:      time.Now, //gvet:ignore determinism injected session-TTL clock; timestamps gate eviction and never enter response bodies
 	}
 	if cfg.MaxMineInFlight > 0 {
 		s.mineSem = make(chan struct{}, cfg.MaxMineInFlight)
