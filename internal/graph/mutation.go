@@ -89,6 +89,8 @@ func (g *Graph) notifyFeeds(m Mutation) {
 // Drain returns the mutations recorded since the previous Drain (or since
 // Subscribe) in application order and resets the feed's buffer. It returns
 // nil when nothing happened.
+//
+//gvet:hotpath
 func (f *MutationFeed) Drain() []Mutation {
 	f.mu.Lock()
 	out := f.buf

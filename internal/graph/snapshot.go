@@ -691,12 +691,16 @@ func (s *Snapshot) IndexOf(v VertexID) (int32, bool) {
 }
 
 // LabelAt returns the label of dense index i.
+//
+//gvet:hotpath
 func (s *Snapshot) LabelAt(i int32) Label {
 	sh := s.shardFor(i)
 	return sh.labels[i-sh.lo]
 }
 
 // DegreeAt returns the degree of dense index i.
+//
+//gvet:hotpath
 func (s *Snapshot) DegreeAt(i int32) int {
 	sh := s.shardFor(i)
 	j := i - sh.lo
@@ -706,6 +710,8 @@ func (s *Snapshot) DegreeAt(i int32) int {
 // NeighborsAt returns the sorted dense-index neighbor list of index i as a
 // shared sub-slice of the owning shard's CSR column array. Callers must not
 // modify it.
+//
+//gvet:hotpath
 func (s *Snapshot) NeighborsAt(i int32) []int32 {
 	sh := s.shardFor(i)
 	j := i - sh.lo

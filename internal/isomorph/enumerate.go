@@ -302,6 +302,8 @@ func newSearchState(pl *searchPlan, yield func(*Occurrence) bool, stop *atomic.B
 // searchRoot explores the full subtree rooted at candidate r. It returns true
 // when enumeration must halt (the consumer returned false or another worker
 // set the stop flag).
+//
+//gvet:hotpath
 func (s *searchState) searchRoot(r int32) bool {
 	s.assign[0] = r
 	s.used[r] = true
@@ -316,6 +318,8 @@ func (s *searchState) searchRoot(r int32) bool {
 // or more anchors), or the plain seed-and-probe scan (kernels disabled).
 // All three visit candidates in ascending dense-index order, so the
 // sequential emission order is the same for a given search order.
+//
+//gvet:hotpath
 func (s *searchState) search(depth int) bool {
 	if s.stop != nil && s.stop.Load() {
 		return true
@@ -399,6 +403,8 @@ candidateLoop:
 // (typically tiny) intersection by the static constraints, and verify any
 // remaining anchors through the snapshot's high-degree adjacency bitsets
 // when available.
+//
+//gvet:hotpath
 func (s *searchState) searchGallop(depth int, anchors []int, label graph.Label, minDeg int) bool {
 	snap := s.pl.snap
 	// Find the two anchors with the smallest assigned-vertex degrees.

@@ -24,6 +24,8 @@ import "repro/internal/graph"
 // (exponential widening from the previous match position, then binary search
 // inside the window), so the cost is O(min·log(max/min)) — proportional to
 // the short run even when the long one is a hub's neighbor row.
+//
+//gvet:hotpath
 func gallopIntersect(a, b, dst []int32) []int32 {
 	if len(a) > len(b) {
 		a, b = b, a
@@ -64,6 +66,8 @@ func gallopIntersect(a, b, dst []int32) []int32 {
 // backtracking loop — it is the only per-candidate predicate that changes as
 // the search descends, so everything else is safe to pre-filter once per
 // anchor assignment.
+//
+//gvet:hotpath
 func filterRun(snap *graph.Snapshot, run []int32, label graph.Label, minDeg int, dst []int32) []int32 {
 	for _, c := range run {
 		if snap.LabelAt(c) == label && snap.DegreeAt(c) >= minDeg {

@@ -168,6 +168,8 @@ func newPlannerStats(snap *graph.Snapshot, m *patternModel) *plannerStats {
 
 // degFactor is the Markov bound min(1, d̄/deg) on the fraction of data
 // vertices with degree at least deg.
+//
+//gvet:hotpath
 func (st *plannerStats) degFactor(deg int) float64 {
 	if deg <= 0 {
 		return 1
@@ -180,12 +182,16 @@ func (st *plannerStats) degFactor(deg int) float64 {
 
 // rootEstimate is the estimated number of label+degree pruned root candidates
 // for position i.
+//
+//gvet:hotpath
 func (st *plannerStats) rootEstimate(m *patternModel, i int) float64 {
 	return float64(st.cnt[i]) * st.degFactor(m.deg[i])
 }
 
 // extendEstimate is the estimated number of candidates at a non-root depth
 // matching position i with the given number of anchors into the order.
+//
+//gvet:hotpath
 func (st *plannerStats) extendEstimate(m *patternModel, i, anchors int) float64 {
 	est := st.avgDeg * (float64(st.cnt[i]) / float64(st.n)) * st.degFactor(m.deg[i])
 	edgeP := st.avgDeg / float64(st.n)
