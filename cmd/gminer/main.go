@@ -5,11 +5,11 @@
 // Usage:
 //
 //	gminer -graph data.lg -measure MNI -minsup 5 [-maxsize 4] [-top 20]
-//	gminer -graph data.lg -minsup 5 -incremental -inserts 16
-//	                 # mine once, apply random edge inserts through the
-//	                 # engine's epoch handoff, and re-answer from live
-//	                 # delta-maintained support state (no cold start),
-//	                 # reporting refresh vs full re-mine latency
+//	gminer -graph data.lg -minsup 5 -incremental -inserts 16 -removes 4
+//	                 # mine once, apply random edge inserts and removals
+//	                 # through the engine's epoch handoff, and re-answer
+//	                 # from live delta-maintained support state (no cold
+//	                 # start), reporting refresh vs full re-mine latency
 //	gminer -store ba.store -minsup 5 -residency 25%
 //	                 # mine an mmapped out-of-core shard store (written by
 //	                 # ggen -store) without materializing the graph in RAM,
@@ -42,7 +42,8 @@ func main() {
 		material    = flag.Bool("materialize", false, "opt out of the default streaming contexts for streaming-capable measures (MNI)")
 		incremental = flag.Bool("incremental", false, "keep the mining session warm, apply -inserts random edge inserts, and re-answer via delta maintenance instead of a cold re-mine (streaming-capable measures only)")
 		inserts     = flag.Int("inserts", 8, "number of random edge inserts the -incremental mode applies")
-		insertSeed  = flag.Uint64("insert-seed", 1, "PRNG seed for the -incremental edge inserts")
+		removes     = flag.Int("removes", 0, "number of random edge removals the -incremental mode applies after the inserts")
+		insertSeed  = flag.Uint64("insert-seed", 1, "PRNG seed for the -incremental edge inserts and removals")
 	)
 	fl := cliflags.Register(flag.CommandLine)
 	flag.Parse()
@@ -78,7 +79,7 @@ func main() {
 	defer eng.Close()
 
 	if *incremental {
-		mineIncremental(eng, g, spec, *measure, *top, *inserts, *insertSeed, fl.Explain())
+		mineIncremental(eng, g, spec, *measure, *top, *inserts, *removes, *insertSeed, fl.Explain())
 		return
 	}
 
@@ -121,10 +122,10 @@ func engineExplainer(eng *support.Engine, enabled bool) planExplainer {
 }
 
 // mineIncremental runs the warm-session workflow on the engine: mine once
-// through OpenSession, mutate through the Update epoch handoff, and
-// re-answer from the live delta state, reporting how the refresh latency
-// compares to a from-scratch re-mine of the new epoch.
-func mineIncremental(eng *support.Engine, g *support.Graph, spec support.MineSpec, measure string, top, inserts int, seed uint64, explain bool) {
+// through OpenSession, mutate (inserts then removals) through the Update
+// epoch handoff, and re-answer from the live delta state, reporting how the
+// refresh latency compares to a from-scratch re-mine of the new epoch.
+func mineIncremental(eng *support.Engine, g *support.Graph, spec support.MineSpec, measure string, top, inserts, removes int, seed uint64, explain bool) {
 	sess, err := eng.OpenSession(spec)
 	if err != nil {
 		fatal(err)
@@ -135,9 +136,10 @@ func mineIncremental(eng *support.Engine, g *support.Graph, spec support.MineSpe
 	fmt.Printf("=== initial mine (tracked candidates: %d, epoch %d) ===\n", sess.TrackedPatterns(), eng.Epoch())
 	printResult(sess.Result(), top, engineExplainer(eng, explain))
 
-	var applied int
+	var applied, removed int
 	epoch, err := eng.Update(func(g *support.Graph) error {
 		applied = applyRandomInserts(g, inserts, seed)
+		removed = applyRandomRemovals(g, removes, seed)
 		return nil
 	})
 	if err != nil {
@@ -145,6 +147,9 @@ func mineIncremental(eng *support.Engine, g *support.Graph, spec support.MineSpe
 	}
 	if applied < inserts {
 		fmt.Printf("note: only %d of %d requested edge inserts were possible on this graph\n", applied, inserts)
+	}
+	if removed < removes {
+		fmt.Printf("note: only %d of %d requested edge removals were possible on this graph\n", removed, removes)
 	}
 
 	start := time.Now()
@@ -164,7 +169,7 @@ func mineIncremental(eng *support.Engine, g *support.Graph, spec support.MineSpe
 		fatal(fmt.Errorf("delta refresh found %d frequent patterns, cold re-mine found %d", len(res.Patterns), len(cold.Mining.Patterns)))
 	}
 
-	fmt.Printf("\n=== after %d random edge inserts (epoch %d -> %d) ===\n", applied, epoch-1, refreshEpoch)
+	fmt.Printf("\n=== after %d random edge inserts and %d removals (epoch %d -> %d) ===\n", applied, removed, epoch-1, refreshEpoch)
 	fmt.Printf("delta refresh:  %12s  (tracked candidates: %d)\n", refreshElapsed, sess.TrackedPatterns())
 	fmt.Printf("cold re-mine:   %12s  (same %d frequent patterns)\n\n", coldElapsed, len(cold.Mining.Patterns))
 	printResult(res, top, engineExplainer(eng, explain))
@@ -191,6 +196,25 @@ func applyRandomInserts(g *support.Graph, n int, seed uint64) int {
 		}
 	}
 	return applied
+}
+
+// applyRandomRemovals removes up to n random existing edges and returns how
+// many were actually removed — the graph can run out of edges first. The
+// deltas flow through the same downward re-checking path as server-side
+// removals, so a refresh after removals still equals a cold re-mine.
+func applyRandomRemovals(g *support.Graph, n int, seed uint64) int {
+	rng := gen.NewRNG(seed + 1)
+	removed := 0
+	for i := 0; i < n; i++ {
+		edges := g.Edges()
+		if len(edges) == 0 {
+			break
+		}
+		e := edges[rng.Intn(len(edges))]
+		g.MustRemoveEdge(e.U, e.V)
+		removed++
+	}
+	return removed
 }
 
 // printHeader describes the mining configuration.

@@ -9,6 +9,11 @@
 //	gserved -graph data.lg -addr :8731
 //	gserved -store ba.store -residency 25% -addr :8731
 //	gserved -graph data.lg -max-mine 2 -max-sessions 16 -session-ttl 5m
+//	gserved -persist data.db -graph seed.lg -commit-every 8
+//	                 # durable source: mutations are WAL-logged before each
+//	                 # epoch handoff and folded into the segment store every
+//	                 # 8 updates; restart resumes exactly where clients left
+//	                 # off, crash included (the WAL tail is replayed)
 //
 // Endpoints (JSON bodies; see internal/server):
 //
@@ -52,16 +57,30 @@ func main() {
 		maxParallel = flag.Int("max-parallel", 0, "cap on per-request enumeration workers, whatever the request asks for (0 = GOMAXPROCS, negative = unclamped)")
 		maxSessions = flag.Int("max-sessions", 0, "cap on live warm mining sessions (0 = default, negative = unlimited)")
 		sessionTTL  = flag.Duration("session-ttl", 0, "evict sessions idle for this long (0 = default, negative = never)")
+		persistDir  = flag.String("persist", "", "open (creating if needed) a durable store directory as a mutable data source: mutations are WAL-logged before each epoch and folded into the store incrementally; with -graph, an empty directory is seeded from the .lg file")
+		commitEvery = flag.Int("commit-every", 16, "fold logged mutations of the -persist store into its segments every N updates (<=0 = only on shutdown or explicit persists)")
 	)
 	fl := cliflags.Register(flag.CommandLine, cliflags.Enum, cliflags.Shards, cliflags.Store)
 	flag.Parse()
 
-	eng, err := fl.Engine(func() (*support.Graph, error) {
-		if *graphPath == "" {
-			return nil, fmt.Errorf("one of -graph or -store is required")
+	var eng *support.Engine
+	var err error
+	if *persistDir != "" {
+		if fl.StorePath() != "" {
+			fatal(fmt.Errorf("-persist and -store are mutually exclusive (-store serves read-only, -persist serves durable read-write)"))
 		}
-		return support.LoadLGFile(*graphPath)
-	})
+		eng, err = support.OpenDurableEngine(*persistDir, *commitEvery, fl.EngineOptions())
+		if err == nil && *graphPath != "" {
+			err = seedDurable(eng, *graphPath)
+		}
+	} else {
+		eng, err = fl.Engine(func() (*support.Graph, error) {
+			if *graphPath == "" {
+				return nil, fmt.Errorf("one of -graph, -store or -persist is required")
+			}
+			return support.LoadLGFile(*graphPath)
+		})
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -78,6 +97,9 @@ func main() {
 	snap, _ := eng.Current()
 	fmt.Printf("gserved: serving %q (|V|=%d, |E|=%d, %d shards) on %s\n",
 		snap.Name(), snap.NumVertices(), snap.NumEdges(), snap.NumShards(), *addr)
+	if depoch, pending, ok := eng.Durable(); ok {
+		fmt.Printf("gserved: durable store %s at epoch %d (%d logged mutations pending)\n", *persistDir, depoch, pending)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -120,6 +142,36 @@ func main() {
 
 // janitorStop ends the eviction ticker on shutdown.
 var janitorStop = make(chan struct{})
+
+// seedDurable populates an empty durable engine from a .lg seed graph in
+// one logged update followed by a durable commit. A store that already
+// holds data is left untouched — the seed only matters on first boot.
+func seedDurable(eng *support.Engine, path string) error {
+	if snap, _ := eng.Current(); snap.NumVertices() > 0 {
+		return nil
+	}
+	src, err := support.LoadLGFile(path)
+	if err != nil {
+		return err
+	}
+	if _, err := eng.Update(func(g *support.Graph) error {
+		for _, v := range src.SortedVertices() {
+			if err := g.AddVertex(v, src.MustLabelOf(v)); err != nil {
+				return err
+			}
+		}
+		for _, e := range src.Edges() {
+			if err := g.AddEdge(e.U, e.V); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	_, err = eng.Persist()
+	return err
+}
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "gserved:", err)

@@ -1,0 +1,72 @@
+package support
+
+import (
+	"fmt"
+
+	"repro/internal/store"
+)
+
+// WriteStats reports what one durable commit did; see store.WriteStats.
+type WriteStats = store.WriteStats
+
+// OpenDurableEngine opens (creating if needed) a durable graph-backed
+// engine over the store directory at dir. An existing store is loaded and
+// the write-ahead log tail — mutation batches acknowledged by Update but
+// not yet folded into the segments — is replayed onto it, so the engine
+// resumes at exactly the state its clients last saw, even after a crash at
+// any point of the commit protocol.
+//
+// Every Update appends its mutations to the WAL (one fsynced batch) before
+// the new epoch is published. With commitEvery > 0 the dirty segments are
+// additionally rewritten into the store every commitEvery updates — an
+// incremental store.WriteUpdate that re-encodes only the shards the batch
+// touched and truncates the log; with commitEvery <= 0 the store is only
+// rewritten by explicit Persist calls and the final Close. opts.Shards
+// fixes the shard geometry of a fresh directory; an existing store keeps
+// the geometry it was written with.
+func OpenDurableEngine(dir string, commitEvery int, opts EngineOptions) (*Engine, error) {
+	db, err := store.OpenDB(dir, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opts:        opts,
+		g:           db.Graph(),
+		db:          db,
+		freezeOpts:  db.FreezeOptions(),
+		commitEvery: commitEvery,
+	}
+	snap := e.g.FreezeSharded(e.freezeOpts)
+	e.state.Store(&engineState{snap: snap, epoch: 1})
+	return e, nil
+}
+
+// Persist forces a durable commit on a durable engine: pending WAL batches
+// are folded into the segment store (rewriting only dirty segments under
+// the manifest-swap protocol) and the log is truncated. It returns the
+// commit's stats. Non-durable engines fail.
+func (e *Engine) Persist() (WriteStats, error) {
+	if e.db == nil {
+		return WriteStats{}, fmt.Errorf("support: engine has no durable store (open it with OpenDurableEngine)")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	stats, err := e.db.Commit()
+	if err != nil {
+		return stats, err
+	}
+	e.sinceCommit = 0
+	return stats, nil
+}
+
+// Durable reports whether the engine persists mutations (it was opened with
+// OpenDurableEngine), and if so the store epoch of its last durable commit
+// and the number of logged-but-uncommitted mutations in its WAL.
+func (e *Engine) Durable() (epoch uint64, pending int, ok bool) {
+	if e.db == nil {
+		return 0, 0, false
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.db.Epoch(), e.db.Pending(), true
+}

@@ -1,0 +1,165 @@
+package support_test
+
+import (
+	"testing"
+
+	support "repro"
+)
+
+// seedDurableRing applies the shared seed batch of the durable-engine tests:
+// a 12-vertex labeled ring, enough structure for a minsup-2 mine to find
+// multi-edge patterns.
+func seedDurableRing(t *testing.T, eng *support.Engine) {
+	t.Helper()
+	if _, err := eng.Update(func(g *support.Graph) error {
+		for i := 0; i < 12; i++ {
+			if err := g.AddVertex(support.VertexID(i), support.Label(i%3)); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < 12; i++ {
+			if err := g.AddEdge(support.VertexID(i), support.VertexID((i+1)%12)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mutateDurableRing applies the shared second batch: chord inserts plus an
+// edge removal and a cascading vertex removal, exercising every mutation
+// kind the WAL records.
+func mutateDurableRing(t *testing.T, eng *support.Engine) {
+	t.Helper()
+	if _, err := eng.Update(func(g *support.Graph) error {
+		for i := 0; i < 12; i += 3 {
+			if err := g.AddEdge(support.VertexID(i), support.VertexID((i+5)%12)); err != nil {
+				return err
+			}
+		}
+		if err := g.RemoveEdge(0, 1); err != nil {
+			return err
+		}
+		return g.RemoveVertex(7)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mineDurable runs one deterministic mine on the engine.
+func mineDurable(t *testing.T, eng *support.Engine) *support.MinerResult {
+	t.Helper()
+	spec := support.MineSpec{MinSupport: 2, MaxPatternSize: 3}
+	resp, err := eng.Do(&support.Request{Mine: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.Mining
+}
+
+// TestDurableEngineLifecycle drives a durable engine through the full
+// mutation lifecycle — seed, mutate with removals, commit on cadence, leave
+// a WAL tail, Persist, Close — then reopens the directory and proves the
+// recovered engine serves the same graph and the same mining answers.
+func TestDurableEngineLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := support.OpenDurableEngine(dir, 2, support.EngineOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch, pending, ok := eng.Durable(); !ok || epoch != 0 || pending != 0 {
+		t.Fatalf("fresh Durable() = (%d, %d, %v), want (0, 0, true)", epoch, pending, ok)
+	}
+
+	// First update: logged but below the commit cadence of two.
+	seedDurableRing(t, eng)
+	if epoch, pending, ok := eng.Durable(); !ok || epoch != 0 || pending == 0 {
+		t.Fatalf("after seed Durable() = (%d, %d, %v), want a pending batch at epoch 0", epoch, pending, ok)
+	}
+
+	// Second update hits the cadence: the store folds to epoch 1 and the
+	// WAL truncates.
+	mutateDurableRing(t, eng)
+	if epoch, pending, ok := eng.Durable(); !ok || epoch != 1 || pending != 0 {
+		t.Fatalf("after cadence commit Durable() = (%d, %d, %v), want (1, 0, true)", epoch, pending, ok)
+	}
+
+	// Third update leaves a WAL tail; Persist folds it explicitly.
+	if _, err := eng.Update(func(g *support.Graph) error {
+		return g.AddEdge(1, 6)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if epoch, pending, ok := eng.Durable(); !ok || epoch != 1 || pending == 0 {
+		t.Fatalf("pre-Persist Durable() = (%d, %d, %v), want a pending batch at epoch 1", epoch, pending, ok)
+	}
+	stats, err := eng.Persist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Epoch != 2 || stats.SegmentsWritten == 0 {
+		t.Fatalf("Persist stats = %+v, want epoch 2 with rewritten segments", stats)
+	}
+	if epoch, pending, ok := eng.Durable(); !ok || epoch != 2 || pending != 0 {
+		t.Fatalf("post-Persist Durable() = (%d, %d, %v), want (2, 0, true)", epoch, pending, ok)
+	}
+
+	want := mineDurable(t, eng)
+	snapBefore, _ := eng.Current()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen without a shard hint: the store's own geometry wins.
+	eng2, err := support.OpenDurableEngine(dir, 2, support.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	snapAfter, _ := eng2.Current()
+	if snapAfter.NumVertices() != snapBefore.NumVertices() || snapAfter.NumEdges() != snapBefore.NumEdges() {
+		t.Fatalf("reopened graph is |V|=%d |E|=%d, want |V|=%d |E|=%d",
+			snapAfter.NumVertices(), snapAfter.NumEdges(), snapBefore.NumVertices(), snapBefore.NumEdges())
+	}
+	if _, pending, ok := eng2.Durable(); !ok || pending != 0 {
+		t.Fatalf("reopened Durable() pending = %d, want 0 after a clean Close", pending)
+	}
+	assertSameMining(t, mineDurable(t, eng2), want)
+}
+
+// TestDurableEngineWALRecovery abandons a never-committed engine without
+// Close — the process-crash shape — and proves a reopen rebuilds the whole
+// acknowledged history from the WAL alone: no manifest was ever written,
+// yet the recovered engine mines identically.
+func TestDurableEngineWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := support.OpenDurableEngine(dir, 0, support.EngineOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedDurableRing(t, eng)
+	mutateDurableRing(t, eng)
+	if epoch, pending, ok := eng.Durable(); !ok || epoch != 0 || pending == 0 {
+		t.Fatalf("Durable() = (%d, %d, %v), want WAL-only batches at epoch 0", epoch, pending, ok)
+	}
+	want := mineDurable(t, eng)
+	snapBefore, _ := eng.Current()
+	// Abandon eng here: no Close, no commit — only the fsynced WAL survives.
+
+	eng2, err := support.OpenDurableEngine(dir, 0, support.EngineOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	if epoch, pending, ok := eng2.Durable(); !ok || epoch != 0 || pending == 0 {
+		t.Fatalf("recovered Durable() = (%d, %d, %v), want replayed batches at epoch 0", epoch, pending, ok)
+	}
+	snapAfter, _ := eng2.Current()
+	if snapAfter.NumVertices() != snapBefore.NumVertices() || snapAfter.NumEdges() != snapBefore.NumEdges() {
+		t.Fatalf("recovered graph is |V|=%d |E|=%d, want |V|=%d |E|=%d",
+			snapAfter.NumVertices(), snapAfter.NumEdges(), snapBefore.NumVertices(), snapBefore.NumEdges())
+	}
+	assertSameMining(t, mineDurable(t, eng2), want)
+}

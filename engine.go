@@ -184,6 +184,19 @@ type Engine struct {
 	// st is the open store of a store-backed engine; owned and closed by
 	// Close. Nil otherwise.
 	st *store.Store
+	// db is the durable backing of an engine opened with OpenDurableEngine:
+	// Update appends acknowledged mutations to its write-ahead log before
+	// publishing, and Persist (plus the commitEvery cadence and Close) folds
+	// them into its segment store. Nil for every other engine kind.
+	db *store.DB
+	// freezeOpts is the geometry Update refreezes with: opts.Shards for
+	// plain graph engines, the durable store's own geometry for durable ones
+	// (so refreezes share clean shards with the last committed snapshot).
+	freezeOpts graph.FreezeOptions
+	// commitEvery and sinceCommit drive the durable commit cadence; both are
+	// guarded by mu.
+	commitEvery int
+	sinceCommit int
 
 	// mu orders writers (Update: exclusive) against graph-reading
 	// operations (sessions, re-shard freezes: shared). Snapshot-pinned
@@ -200,8 +213,8 @@ func NewEngine(g *Graph, opts EngineOptions) (*Engine, error) {
 	if g == nil {
 		return nil, fmt.Errorf("support: NewEngine needs a non-nil graph (use NewSnapshotEngine or OpenStoreEngine for immutable sources)")
 	}
-	e := &Engine{opts: opts, g: g}
-	snap := g.FreezeSharded(graph.FreezeOptions{Shards: opts.Shards})
+	e := &Engine{opts: opts, g: g, freezeOpts: graph.FreezeOptions{Shards: opts.Shards}}
+	snap := g.FreezeSharded(e.freezeOpts)
 	e.state.Store(&engineState{snap: snap, epoch: 1})
 	return e, nil
 }
@@ -260,10 +273,21 @@ func (e *Engine) Residency() (stats ResidencyStats, ok bool) {
 	return e.st.Residency(), true
 }
 
-// Close releases resources owned by the engine (the mmapped store of a
-// store-backed engine). Sessions must be closed first; requests must not be
-// in flight. Close is idempotent.
+// Close releases resources owned by the engine: the mmapped store of a
+// store-backed engine, or the durable database of a durable engine — after
+// one final commit, so a clean shutdown leaves an empty write-ahead log and
+// a segment store holding the last epoch exactly. Sessions must be closed
+// first; requests must not be in flight. Close is idempotent.
 func (e *Engine) Close() error {
+	if e.db != nil {
+		db := e.db
+		e.db = nil
+		_, cerr := db.Commit()
+		if err := db.Close(); cerr == nil {
+			cerr = err
+		}
+		return cerr
+	}
 	if e.st == nil {
 		return nil
 	}
@@ -282,6 +306,14 @@ func (e *Engine) Close() error {
 // applied before the failure become visible at the returned epoch instead of
 // leaking silently into a later one. A nil mutate is a pure refreeze (epoch
 // bump with unchanged data).
+//
+// On a durable engine the applied mutations are appended to the write-ahead
+// log (one fsynced batch) before the new epoch is published, so every epoch
+// a caller has seen can be reconstructed after a crash; a WAL failure still
+// publishes — the mutations did happen — but is reported so the caller
+// knows the batch is not yet crash-durable. Every commitEvery successful
+// updates the log is folded into the segment store in the background of the
+// writer lock (see OpenDurableEngine).
 func (e *Engine) Update(mutate func(g *Graph) error) (uint64, error) {
 	if e.g == nil {
 		return 0, fmt.Errorf("support: engine source is immutable (snapshot- or store-backed); Update needs a graph-backed engine")
@@ -292,10 +324,29 @@ func (e *Engine) Update(mutate func(g *Graph) error) (uint64, error) {
 	if mutate != nil {
 		mutErr = mutate(e.g)
 	}
-	snap := e.g.FreezeSharded(graph.FreezeOptions{Shards: e.opts.Shards}) //gvet:ignore lockscope deliberate epoch handoff: readers pin snapshots with an atomic load and never take e.mu, so the refreeze only serializes writers
+	var logErr error
+	if e.db != nil {
+		logErr = e.db.Log()
+	}
+	snap := e.g.FreezeSharded(e.freezeOpts) //gvet:ignore lockscope deliberate epoch handoff: readers pin snapshots with an atomic load and never take e.mu, so the refreeze only serializes writers
 	next := &engineState{snap: snap, epoch: e.state.Load().epoch + 1}
 	e.state.Store(next)
-	return next.epoch, mutErr
+	if e.db != nil && e.commitEvery > 0 {
+		e.sinceCommit++
+		if e.sinceCommit >= e.commitEvery {
+			if _, err := e.db.Commit(); err != nil {
+				if logErr == nil {
+					logErr = err
+				}
+			} else {
+				e.sinceCommit = 0
+			}
+		}
+	}
+	if mutErr != nil {
+		return next.epoch, mutErr
+	}
+	return next.epoch, logErr
 }
 
 // Do answers one Request on the engine's current snapshot. It is safe for

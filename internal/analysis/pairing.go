@@ -10,26 +10,33 @@ import (
 // control-flow path, early returns and panics included: shard residency
 // pins (AcquireShard/ReleaseShard), mutation-feed subscriptions
 // (Subscribe/Close), warm sessions (OpenSession/Close), incremental miners
-// and delta contexts (NewIncremental, NewDeltaContext/Close), and opened
-// stores and files. A handle that escapes — returned, stored in a field,
-// passed along — transfers its release obligation to the new owner and is
-// not reported; a handle bound with an error result is not owed a release
-// on the error-return path.
+// and delta contexts (NewIncremental, NewDeltaContext/Close), durable
+// graphs and their write-ahead logs (OpenDB/OpenWAL/OpenDurableEngine
+// with Close), and opened stores and files. A handle that escapes —
+// returned, stored in a field, passed along — transfers its release
+// obligation to the new owner and is not reported; a handle bound with an
+// error result is not owed a release on the error-return path.
 var Pairing = &Analyzer{
 	Name: "pairing",
 	Doc: "flag unbalanced AcquireShard/ReleaseShard, Subscribe/OpenSession/NewIncremental/" +
-		"NewDeltaContext/Open without Close on some path; leaked feeds and pins starve eviction",
+		"NewDeltaContext/Open/OpenWAL/OpenDB without Close on some path; leaked feeds, " +
+		"pins and WAL handles starve eviction or hold the log open",
 	Run: runPairing,
 }
 
 // handleAcquireNames are the repository's handle-returning constructors
 // paired with Close, matched by name in any package so the testdata mimics
-// exercise the same code path as the real tree.
+// exercise the same code path as the real tree. A leaked WAL or DB handle
+// is worse than a leaked feed: it keeps wal.log open and blocks the
+// truncate that the next commit performs.
 var handleAcquireNames = map[string]bool{
-	"Subscribe":       true,
-	"OpenSession":     true,
-	"NewIncremental":  true,
-	"NewDeltaContext": true,
+	"Subscribe":         true,
+	"OpenSession":       true,
+	"NewIncremental":    true,
+	"NewDeltaContext":   true,
+	"OpenWAL":           true,
+	"OpenDB":            true,
+	"OpenDurableEngine": true,
 }
 
 // handleAcquirePkgFuncs are package-scoped handle constructors.
@@ -43,15 +50,18 @@ var handleAcquirePkgFuncs = map[string]map[string]bool{
 // the Snapshot.AcquireShard hint forwarder. Analyzing them against
 // themselves would be circular.
 var pairingSkipFuncs = map[string]bool{
-	"AcquireShard":    true,
-	"ReleaseShard":    true,
-	"Close":           true,
-	"Subscribe":       true,
-	"OpenSession":     true,
-	"NewIncremental":  true,
-	"NewDeltaContext": true,
-	"Open":            true,
-	"OpenWithBudget":  true,
+	"AcquireShard":      true,
+	"ReleaseShard":      true,
+	"Close":             true,
+	"Subscribe":         true,
+	"OpenSession":       true,
+	"NewIncremental":    true,
+	"NewDeltaContext":   true,
+	"Open":              true,
+	"OpenWithBudget":    true,
+	"OpenWAL":           true,
+	"OpenDB":            true,
+	"OpenDurableEngine": true,
 }
 
 func runPairing(pass *Pass) {

@@ -69,3 +69,61 @@ func errIdiomLeak(g *graph) int {
 	}
 	return inc.Drain() // want "NewIncremental handle acquired at line 66 is not released on this path"
 }
+
+// The durable lifecycle: OpenWAL/OpenDB handles hold wal.log open and must
+// reach Close on every path, same discipline as feeds and sessions.
+
+type wal struct{}
+
+func (w *wal) Close() error         { return nil }
+func (w *wal) Append(n int) error   { return nil }
+func (w *wal) Reset(e uint64) error { return nil }
+
+type db struct{}
+
+func (d *db) Close() error  { return nil }
+func (d *db) Commit() error { return nil }
+func (d *db) Pending() int  { return 0 }
+
+func OpenWAL(dir string, epoch uint64) (*wal, error) { return &wal{}, nil }
+func OpenDB(dir string, shards int) (*db, error)     { return &db{}, nil }
+
+// walLifecycle passes: error arm owes nothing, success arm defers Close.
+func walLifecycle(dir string) error {
+	w, err := OpenWAL(dir, 1)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if err := w.Append(3); err != nil {
+		return err
+	}
+	return w.Reset(2)
+}
+
+func walLeak(dir string, n int) error {
+	w, err := OpenWAL(dir, 1)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil // want "OpenWAL handle acquired at line 105 is not released on this path"
+	}
+	return w.Close()
+}
+
+// dbEscapes passes: the caller inherits the Close obligation.
+func dbEscapes(dir string) (*db, error) {
+	return OpenDB(dir, 4)
+}
+
+func dbLeak(dir string, commit bool) error {
+	d, err := OpenDB(dir, 4)
+	if err != nil {
+		return err
+	}
+	if commit {
+		return d.Commit() // want "OpenDB handle acquired at line 121 is not released on this path"
+	}
+	return d.Close()
+}

@@ -95,6 +95,7 @@ func allExperiments() []Experiment {
 		incrementalExperiment(),
 		deltaMNIExperiment(),
 		storeExperiment(),
+		rewriteExperiment(),
 		scalingExperiment(),
 		approxExperiment(),
 		lpExperiment(),

@@ -194,9 +194,10 @@ func MiningRecord(cfg Config) (EnumerationRecord, error) {
 
 // NewEnumerationReport measures the enumeration records plus the
 // naive-configuration A/B records (star4-naive), the end-to-end mining record
-// (mine-mni), the delta-maintenance pair (delta-mni / delta-mni-full) and the
-// out-of-core store records (star4-store) for the given configuration and
-// wraps them in the BENCH_enumeration.json document structure.
+// (mine-mni), the delta-maintenance pair (delta-mni / delta-mni-full), the
+// out-of-core store records (star4-store) and the incremental-rewrite pair
+// (rewrite-dirty / rewrite-full) for the given configuration and wraps them
+// in the BENCH_enumeration.json document structure.
 func NewEnumerationReport(cfg Config) (*EnumerationReport, error) {
 	records := EnumerationRecords(cfg)
 	records = append(records, PlannerRecords(cfg)...)
@@ -215,6 +216,11 @@ func NewEnumerationReport(cfg Config) (*EnumerationReport, error) {
 		return nil, fmt.Errorf("bench: store records: %w", err)
 	}
 	records = append(records, storeRecs...)
+	rewriteRecs, err := IncrementalRewriteRecords(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: incremental-rewrite records: %w", err)
+	}
+	records = append(records, rewriteRecs...)
 	servingRecs, err := ServingRecords(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("bench: serving records: %w", err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 
 	"repro/internal/graph"
@@ -115,6 +116,117 @@ func RunStoreInput(w io.Writer, dir, residency string, cfg Config) error {
 	}
 	fmt.Fprintf(w, "\nresidency: %s\n", st.Residency())
 	return nil
+}
+
+// IncrementalRewriteRecords times the incremental segment rewrite against a
+// from-scratch store write of the same snapshot. Per workload it commits a
+// baseline store, removes one edge (dirtying at most two shards), and then
+// measures store.WriteUpdate — which carries every clean segment by CRC and
+// rewrites only the dirty ones — next to a full store.Write of the mutated
+// snapshot into a fresh directory. The records land in
+// BENCH_enumeration.json as pattern "rewrite-dirty" / "rewrite-full" (mode
+// "sequential"), with the number of segments actually written in the
+// Occurrences field, so CI gates both the dirty-only latency win and the
+// carried-segment count.
+func IncrementalRewriteRecords(cfg Config) ([]EnumerationRecord, error) {
+	iters := quickInt(cfg, 2, 5)
+	root, err := os.MkdirTemp("", "repro-rewrite-bench-")
+	if err != nil {
+		return nil, fmt.Errorf("bench: temp rewrite dir: %w", err)
+	}
+	defer os.RemoveAll(root)
+
+	var out []EnumerationRecord
+	for wi, wl := range enumerationWorkloads(cfg) {
+		// Clone through a snapshot so the shared workload graph stays
+		// untouched for the other record families.
+		opts := graph.FreezeOptions{Shards: cfg.Shards}
+		g := graph.FromSnapshot(wl.g.FreezeSharded(opts))
+		prev := g.FreezeSharded(opts)
+		dir := filepath.Join(root, fmt.Sprintf("base-%d", wi))
+		if _, err := store.WriteUpdate(prev, dir, nil); err != nil {
+			return nil, err
+		}
+
+		// One removed edge: the canonical small mutation of the lifecycle.
+		ids := g.SortedVertices()
+		u := ids[len(ids)-1]
+		g.MustRemoveEdge(u, g.Neighbors(u)[0])
+		snap := g.FreezeSharded(opts)
+
+		var stats store.WriteStats
+		dirtyNs := timeBest(iters, func() {
+			s, err2 := store.WriteUpdate(snap, dir, prev)
+			if err2 != nil {
+				err = err2
+				return
+			}
+			stats = s
+		})
+		if err != nil {
+			return nil, err
+		}
+		if stats.SegmentsWritten > 2 || stats.SegmentsCarried != snap.NumShards()-stats.SegmentsWritten {
+			return nil, fmt.Errorf("bench: %s rewrite wrote %d and carried %d of %d segments, want a dirty-only rewrite",
+				wl.name, stats.SegmentsWritten, stats.SegmentsCarried, snap.NumShards())
+		}
+
+		full := 0
+		fullNs := timeBest(iters, func() {
+			full++
+			if err2 := store.Write(snap, filepath.Join(root, fmt.Sprintf("full-%d-%d", wi, full))); err2 != nil {
+				err = err2
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		for _, rec := range []struct {
+			pattern string
+			written int
+			ns      int64
+		}{
+			{"rewrite-dirty", stats.SegmentsWritten, dirtyNs},
+			{"rewrite-full", snap.NumShards(), fullNs},
+		} {
+			out = append(out, EnumerationRecord{
+				Workload:    wl.name,
+				Vertices:    g.NumVertices(),
+				Edges:       g.NumEdges(),
+				Pattern:     rec.pattern,
+				Mode:        "sequential",
+				Parallelism: 1,
+				Shards:      cfg.Shards,
+				Occurrences: rec.written,
+				NsPerOp:     rec.ns,
+				Iterations:  iters,
+			})
+		}
+	}
+	return out, nil
+}
+
+// rewriteExperiment renders the incremental-rewrite records as a table:
+// dirty-only WriteUpdate latency and segment counts against the full
+// store.Write baseline.
+func rewriteExperiment() Experiment {
+	return Experiment{
+		ID:    "incremental-rewrite",
+		Claim: "incremental store rewrite: after a small mutation, WriteUpdate re-encodes only the dirty shards and carries every clean segment, beating a from-scratch store write",
+		Run: func(w io.Writer, cfg Config) error {
+			records, err := IncrementalRewriteRecords(cfg)
+			if err != nil {
+				return err
+			}
+			t := NewTable("incremental segment rewrite after one edge removal, dirty-only vs full store write",
+				"workload", "|V|", "|E|", "mode", "segments written", "ns/op")
+			for _, r := range records {
+				t.AddRow(r.Workload, r.Vertices, r.Edges, r.Pattern, r.Occurrences, fmtDuration(float64(r.NsPerOp)))
+			}
+			return render(w, cfg, t)
+		},
+	}
 }
 
 // storeExperiment compares enumeration over the in-memory snapshot, the

@@ -24,19 +24,21 @@ import (
 //
 // Mechanically, a DeltaContext subscribes to the graph's mutation feed and
 // retains the snapshot it last synchronized on. Refresh drains the feed and,
-// for a small update batch, runs two root-restricted enumerations over the
-// mutation ball (every vertex within pattern diameter of a mutated vertex,
-// which bounds where affected occurrences can be rooted): a plus-pass on the
-// new snapshot counts every occurrence touching mutated structure, a
-// minus-pass on the retained old snapshot counts the stale pre-mutation
-// contributions of the same region, and the signed difference is applied to
-// the refcounted domain and instance tables. Occurrences outside the ball
-// are untouched on both sides and never re-enumerated. Because the tables
-// are refcounted, the subtraction is exact — stale contributions are removed
-// entry by entry, not approximated — and the resulting aggregates are
-// identical to a from-scratch streamed Context for every shard count and
-// parallelism setting. When the ball grows past half the graph (a mutation
-// storm that saturates every shard), Refresh falls back to a from-scratch
+// for a small update batch, runs two root-restricted enumerations, one per
+// side of the mutation, each over that side's own mutation ball (every vertex
+// within pattern diameter of a mutated vertex, which bounds where affected
+// occurrences can be rooted): a plus-pass on the new snapshot counts every
+// occurrence touching mutated structure, a minus-pass on the retained old
+// snapshot counts the stale pre-mutation contributions of the same region —
+// including every occurrence a removal destroyed — and the signed difference
+// is applied to the refcounted domain and instance tables. Occurrences
+// outside the balls are untouched on both sides and never re-enumerated.
+// Because the tables are refcounted, the subtraction is exact — stale
+// contributions are removed entry by entry, not approximated — and the
+// resulting aggregates are identical to a from-scratch streamed Context for
+// every shard count and parallelism setting, under insertions and deletions
+// alike. When either ball grows past half its graph (a mutation storm that
+// saturates every shard), Refresh falls back to a from-scratch
 // re-enumeration instead, which is cheaper than two nearly-full delta passes
 // and keeps answers exact.
 //
@@ -74,9 +76,9 @@ type DeltaStats struct {
 	// FullRebuilds counts refreshes that fell back to from-scratch
 	// re-enumeration (saturating mutation batches).
 	FullRebuilds int
-	// LastBallVertices is the mutation-ball size of the most recent delta
-	// refresh: the number of candidate root vertices the two delta passes
-	// were restricted to.
+	// LastBallVertices is the combined mutation-ball size of the most recent
+	// delta refresh: the number of candidate root vertices the plus-pass and
+	// minus-pass were restricted to, summed over both sides.
 	LastBallVertices int
 }
 
@@ -115,8 +117,8 @@ func (d *DeltaContext) Close() { d.feed.Close() }
 
 // Refresh synchronizes the maintained aggregates with every graph mutation
 // since the previous Refresh (or since construction). With no pending
-// mutations it is a no-op. Like all graph reads it must not race with
-// AddVertex/AddEdge.
+// mutations it is a no-op. Like all graph reads it must not race with the
+// graph's mutation methods.
 func (d *DeltaContext) Refresh() error {
 	muts := d.feed.Drain()
 	d.stats.Refreshes++
@@ -127,23 +129,33 @@ func (d *DeltaContext) Refresh() error {
 
 	// The dirty vertex set: every vertex incident to mutated structure. An
 	// occurrence gained by the batch must touch it (a new occurrence uses an
-	// added edge or an added vertex), and membership is by VertexID, so old
-	// and new snapshots agree on which shared occurrences touch it — which
-	// is what makes the signed cancellation below exact.
+	// added edge or an added vertex), an occurrence lost by the batch must
+	// touch it too (a dead occurrence used a removed edge or vertex), and
+	// membership is by VertexID, so old and new snapshots agree on which
+	// shared occurrences touch it — which is what makes the signed
+	// cancellation below exact.
 	dirty := make(map[graph.VertexID]bool, 2*len(muts))
 	for _, m := range muts {
 		switch m.Kind {
-		case graph.MutVertexAdded:
+		case graph.MutVertexAdded, graph.MutVertexRemoved:
 			dirty[m.U] = true
-		case graph.MutEdgeAdded:
+		case graph.MutEdgeAdded, graph.MutEdgeRemoved:
 			dirty[m.U] = true
 			dirty[m.V] = true
 		}
 	}
 
-	ball, ok := d.mutationBall(newSnap, dirty)
-	if !ok {
-		// Saturating batch: the ball covers most of the graph, so two
+	// Each side gets its own mutation ball, BFS-grown over its own topology:
+	// with deletions in the batch, neither snapshot's edge set contains the
+	// other's, so distances differ between them and a single transferred ball
+	// would under-cover one side. The plus-ball bounds where new-graph
+	// occurrences touching dirty structure can be rooted; the minus-ball does
+	// the same for the retained pre-mutation snapshot (a removed vertex still
+	// exists there and seeds it).
+	ballNew, okNew := d.mutationBall(newSnap, dirty)
+	ballOld, okOld := d.mutationBall(d.snap, dirty)
+	if !okNew || !okOld {
+		// Saturating batch: a ball covers most of its graph, so two
 		// restricted passes would cost more than one full one. Rebuild the
 		// tables from scratch; answers stay exact either way.
 		d.rebuild(newSnap)
@@ -152,27 +164,17 @@ func (d *DeltaContext) Refresh() error {
 		return nil
 	}
 	d.stats.DeltaRefreshes++
-	d.stats.LastBallVertices = len(ball)
+	d.stats.LastBallVertices = len(ballNew) + len(ballOld)
 
-	// Plus-pass: occurrences in the new graph rooted inside the ball and
+	// Plus-pass: occurrences in the new graph rooted inside the new ball and
 	// touching a dirty vertex. This covers every occurrence the batch added
 	// plus the surviving occurrences of the mutated region.
-	plus := d.enumerate(newSnap, ball, dirty)
+	plus := d.enumerate(newSnap, ballNew, dirty)
 
-	// Minus-pass: the same region's occurrences in the retained pre-mutation
-	// snapshot — exactly the contributions already present in the tables.
-	// Old occurrences never contain added vertices, so the same dirty set
-	// filters both sides consistently. The ball transfers: old-graph edges
-	// are a subset of new-graph edges, so any old occurrence touching a
-	// dirty vertex is rooted within the new graph's ball too.
-	oldRoots := make([]int32, 0, len(ball))
-	for _, c := range ball {
-		if i, inOld := d.snap.IndexOf(newSnap.ID(c)); inOld {
-			oldRoots = append(oldRoots, i)
-		}
-	}
-	sort.Slice(oldRoots, func(i, j int) bool { return oldRoots[i] < oldRoots[j] })
-	minus := d.enumerate(d.snap, oldRoots, dirty)
+	// Minus-pass: the mutated region's occurrences in the retained
+	// pre-mutation snapshot — exactly the contributions already present in
+	// the tables, every occurrence the batch destroyed included.
+	minus := d.enumerate(d.snap, ballOld, dirty)
 
 	d.apply(plus, +1)
 	d.apply(minus, -1)

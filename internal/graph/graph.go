@@ -60,7 +60,8 @@ func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
 // dataset package to construct graphs.
 //
 // Graph is safe for concurrent readers once fully constructed; mutation
-// methods (AddVertex, AddEdge, SetName) must not race with readers.
+// methods (AddVertex, AddEdge, RemoveVertex, RemoveEdge, SetName) must not
+// race with readers.
 type Graph struct {
 	labels    map[VertexID]Label
 	adjacency map[VertexID][]VertexID
@@ -179,7 +180,7 @@ func (g *Graph) AddEdge(u, v VertexID) error {
 	g.edges[e] = struct{}{}
 	g.adjacency[u] = append(g.adjacency[u], v)
 	g.adjacency[v] = append(g.adjacency[v], u)
-	g.noteEdgeAdded(u, v)
+	g.noteEdgeTouched(u, v)
 	g.notifyFeeds(Mutation{Kind: MutEdgeAdded, U: e.U, V: e.V})
 	return nil
 }
@@ -189,6 +190,78 @@ func (g *Graph) MustAddEdge(u, v VertexID) {
 	if err := g.AddEdge(u, v); err != nil {
 		panic(err)
 	}
+}
+
+// RemoveEdge removes the undirected edge {u, v}. Removing an absent edge is
+// an error, and a failed removal changes nothing observable: no shard is
+// dirtied and no mutation reaches subscribed feeds.
+func (g *Graph) RemoveEdge(u, v VertexID) error {
+	g.ensure()
+	e := Edge{U: u, V: v}.Normalize()
+	if _, ok := g.edges[e]; !ok {
+		return fmt.Errorf("graph %q: cannot remove absent edge %v", g.name, e)
+	}
+	delete(g.edges, e)
+	g.adjacency[u] = removeOne(g.adjacency[u], v)
+	g.adjacency[v] = removeOne(g.adjacency[v], u)
+	g.noteEdgeTouched(u, v)
+	g.notifyFeeds(Mutation{Kind: MutEdgeRemoved, U: e.U, V: e.V})
+	return nil
+}
+
+// MustRemoveEdge is RemoveEdge but panics on error.
+func (g *Graph) MustRemoveEdge(u, v VertexID) {
+	if err := g.RemoveEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// RemoveVertex removes v and every edge incident to it. The cascade removes
+// the incident edges first (each recorded as its own MutEdgeRemoved, in
+// increasing neighbor order) and then the vertex itself, so feed subscribers
+// replaying the stream never see an edge referencing a vertex that is already
+// gone. Removing an unknown vertex is an error, and a failed removal changes
+// nothing observable: no shard is dirtied and no mutation reaches feeds.
+func (g *Graph) RemoveVertex(v VertexID) error {
+	g.ensure()
+	label, ok := g.labels[v]
+	if !ok {
+		return fmt.Errorf("graph %q: cannot remove unknown vertex %d", g.name, v)
+	}
+	nbs := g.Neighbors(v) // sorted copy: RemoveEdge mutates the adjacency list
+	for _, w := range nbs {
+		if err := g.RemoveEdge(v, w); err != nil {
+			return err // unreachable: the adjacency list names live edges
+		}
+	}
+	delete(g.labels, v)
+	delete(g.adjacency, v)
+	g.byLabel[label] = removeOne(g.byLabel[label], v)
+	if len(g.byLabel[label]) == 0 {
+		delete(g.byLabel, label)
+	}
+	g.order = removeOne(g.order, v)
+	g.noteVertexRemoved(v)
+	g.notifyFeeds(Mutation{Kind: MutVertexRemoved, U: v, Label: label})
+	return nil
+}
+
+// MustRemoveVertex is RemoveVertex but panics on error.
+func (g *Graph) MustRemoveVertex(v VertexID) {
+	if err := g.RemoveVertex(v); err != nil {
+		panic(err)
+	}
+}
+
+// removeOne deletes the first occurrence of x from s in place, preserving the
+// order of the remaining elements.
+func removeOne(s []VertexID, x VertexID) []VertexID {
+	for i, y := range s {
+		if y == x {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
 }
 
 // HasVertex reports whether v is a vertex of the graph.

@@ -1,13 +1,18 @@
 package graph
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // MutationKind discriminates the structural mutations a Graph records into
 // subscribed MutationFeeds.
 type MutationKind uint8
 
 // The mutation kinds delivered through a MutationFeed. Renames (SetName) are
-// not structural and are never recorded.
+// not structural and are never recorded, and neither are failed mutations:
+// a rejected duplicate add or a removal of an absent edge/vertex changes
+// nothing and therefore reaches no feed.
 const (
 	// MutVertexAdded records a successful AddVertex; U is the new vertex and
 	// Label its label.
@@ -15,27 +20,66 @@ const (
 	// MutEdgeAdded records a successful AddEdge; U and V are the endpoints in
 	// normalized (U <= V) order.
 	MutEdgeAdded
+	// MutEdgeRemoved records a successful RemoveEdge; U and V are the former
+	// endpoints in normalized (U <= V) order. RemoveVertex emits one of these
+	// per cascaded incident edge before its own MutVertexRemoved.
+	MutEdgeRemoved
+	// MutVertexRemoved records a successful RemoveVertex; U is the removed
+	// vertex and Label the label it carried, so subscribers can reverse or
+	// re-apply the mutation without consulting the (already mutated) graph.
+	MutVertexRemoved
 )
 
 // Mutation is one structural graph mutation as delivered by a MutationFeed.
 type Mutation struct {
 	// Kind says what happened.
 	Kind MutationKind
-	// U is the added vertex (MutVertexAdded) or the smaller edge endpoint
-	// (MutEdgeAdded).
+	// U is the added or removed vertex (MutVertexAdded, MutVertexRemoved) or
+	// the smaller edge endpoint (MutEdgeAdded, MutEdgeRemoved).
 	U VertexID
-	// V is the larger edge endpoint; zero for vertex adds.
+	// V is the larger edge endpoint; zero for vertex mutations.
 	V VertexID
-	// Label is the label of the added vertex; zero for edge adds.
+	// Label is the label of the added or removed vertex; zero for edge
+	// mutations.
 	Label Label
+}
+
+// Apply re-applies a recorded mutation to g, strictly: a mutation that does
+// not apply cleanly (duplicate add, removal of an absent edge or vertex, an
+// unknown kind) is an error rather than a no-op, because replay streams —
+// the store's WAL in particular — record only mutations that succeeded, so a
+// failed replay means the stream and the graph have diverged.
+//
+// Note the asymmetry with RemoveVertex: a MutVertexRemoved record carries no
+// cascade (the incident-edge removals were recorded individually before it),
+// so Apply requires the vertex to be isolated by the time its record replays —
+// exactly the state a faithful replay produces.
+func (g *Graph) Apply(m Mutation) error {
+	switch m.Kind {
+	case MutVertexAdded:
+		if g.HasVertex(m.U) {
+			return fmt.Errorf("graph %q: replayed vertex add %d but the vertex already exists", g.name, m.U)
+		}
+		return g.AddVertex(m.U, m.Label)
+	case MutEdgeAdded:
+		return g.AddEdge(m.U, m.V)
+	case MutEdgeRemoved:
+		return g.RemoveEdge(m.U, m.V)
+	case MutVertexRemoved:
+		if g.Degree(m.U) != 0 {
+			return fmt.Errorf("graph %q: replayed vertex removal %d but the vertex still has %d incident edges", g.name, m.U, g.Degree(m.U))
+		}
+		return g.RemoveVertex(m.U)
+	}
+	return fmt.Errorf("graph %q: replayed mutation with unknown kind %d", g.name, m.Kind)
 }
 
 // MutationFeed is a per-subscriber, append-only buffer of the structural
 // mutations applied to a Graph since the feed was created (or last drained).
 // It is the pull-based subscription behind incremental measure maintenance
-// (core.DeltaContext): the graph appends every successful AddVertex/AddEdge
-// to all open feeds, and subscribers call Drain to consume the batch they
-// have not yet processed.
+// (core.DeltaContext): the graph appends every successful mutation — adds
+// and removals alike — to all open feeds, and subscribers call Drain to
+// consume the batch they have not yet processed.
 //
 // A feed's buffer grows with the number of undrained mutations, so long-lived
 // subscribers should drain on every synchronization point and Close feeds

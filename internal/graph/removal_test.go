@@ -1,0 +1,281 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestRemoveEdgeBasics(t *testing.T) {
+	g := New("rm")
+	g.MustAddVertex(1, 10)
+	g.MustAddVertex(2, 20)
+	g.MustAddVertex(3, 30)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+
+	if err := g.RemoveEdge(2, 1); err != nil { // endpoint order is normalized
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	if g.HasEdge(1, 2) {
+		t.Fatal("edge {1,2} still present after removal")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if got := g.Neighbors(2); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Neighbors(2) = %v, want [3]", got)
+	}
+	if err := g.RemoveEdge(1, 2); err == nil {
+		t.Fatal("removing an absent edge did not error")
+	}
+	if err := g.RemoveEdge(1, 9); err == nil {
+		t.Fatal("removing an edge with an unknown endpoint did not error")
+	}
+}
+
+func TestRemoveVertexCascades(t *testing.T) {
+	g := New("rm")
+	for v := 1; v <= 4; v++ {
+		g.MustAddVertex(VertexID(v), Label(v*10))
+	}
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(2, 4)
+	g.MustAddEdge(3, 4)
+
+	f := g.Subscribe()
+	defer f.Close()
+	if err := g.RemoveVertex(2); err != nil {
+		t.Fatalf("RemoveVertex: %v", err)
+	}
+	if g.HasVertex(2) || g.NumVertices() != 3 {
+		t.Fatalf("vertex 2 still present; |V| = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 1 || !g.HasEdge(3, 4) {
+		t.Fatalf("cascade left %d edges, want only {3,4}", g.NumEdges())
+	}
+	if got := g.VerticesWithLabel(20); len(got) != 0 {
+		t.Fatalf("label 20 still lists %v", got)
+	}
+	want := []Mutation{
+		{Kind: MutEdgeRemoved, U: 1, V: 2},
+		{Kind: MutEdgeRemoved, U: 2, V: 3},
+		{Kind: MutEdgeRemoved, U: 2, V: 4},
+		{Kind: MutVertexRemoved, U: 2, Label: 20},
+	}
+	got := f.Drain()
+	if len(got) != len(want) {
+		t.Fatalf("feed recorded %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("feed[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if err := g.RemoveVertex(2); err == nil {
+		t.Fatal("removing an unknown vertex did not error")
+	}
+}
+
+// TestNoopRemovalsAreInvisible is the satellite check: a failed removal must
+// neither dirty any cached snapshot shard nor reach subscribed feeds.
+func TestNoopRemovalsAreInvisible(t *testing.T) {
+	g := buildDenseGraph(64)
+	opts := FreezeOptions{ShardSize: 16}
+	s1 := g.FreezeSharded(opts)
+	f := g.Subscribe()
+	defer f.Close()
+
+	if err := g.RemoveEdge(0, 63); err == nil {
+		t.Fatal("expected error removing absent edge")
+	}
+	if err := g.RemoveVertex(999); err == nil {
+		t.Fatal("expected error removing unknown vertex")
+	}
+	if f.Pending() != 0 {
+		t.Fatalf("no-op removals reached the feed: %v", f.Drain())
+	}
+	before := g.shardBuilds.Load()
+	if s2 := g.FreezeSharded(opts); s2 != s1 {
+		t.Fatal("no-op removals dirtied the cached snapshot")
+	}
+	if delta := g.shardBuilds.Load() - before; delta != 0 {
+		t.Fatalf("no-op removals caused %d shard rebuilds", delta)
+	}
+}
+
+// TestIncrementalRefreezeEdgeRemoval mirrors the AddEdge incremental-refreeze
+// test: one RemoveEdge dirties exactly the two endpoint shards and the
+// refreeze reuses every clean shard by reference.
+func TestIncrementalRefreezeEdgeRemoval(t *testing.T) {
+	g := buildDenseGraph(64)
+	opts := FreezeOptions{ShardSize: 16}
+	s1 := g.FreezeSharded(opts)
+	s1.IndexesWithLabel(1) // materialize the cross-shard label index
+
+	before := g.shardBuilds.Load()
+	g.MustRemoveEdge(17, 18) // both endpoints in shard 1
+	s2 := g.FreezeSharded(opts)
+	if delta := g.shardBuilds.Load() - before; delta != 1 {
+		t.Fatalf("refreeze rebuilt %d shards, want 1", delta)
+	}
+	for _, k := range []int{0, 2, 3} {
+		if !sameIDBacking(s1.shards[k].ids, s2.shards[k].ids) ||
+			!sameInt32Backing(s1.shards[k].colIdx, s2.shards[k].colIdx) {
+			t.Errorf("clean shard %d was copied instead of reused by reference", k)
+		}
+	}
+	assertSnapshotMatchesScratch(t, g, s2)
+	if !s1.HasEdge(17, 18) {
+		t.Error("pre-removal snapshot lost the removed edge")
+	}
+}
+
+// TestIncrementalRefreezeVertexRemoval covers both removal positions: the
+// remove-at-max-ID fast path (no shift, clean prefix reused by reference) and
+// a mid-range removal (shift forces the clean-shard colIdx remap).
+func TestIncrementalRefreezeVertexRemoval(t *testing.T) {
+	t.Run("tail", func(t *testing.T) {
+		g := buildDenseGraph(64)
+		opts := FreezeOptions{ShardSize: 16}
+		s1 := g.FreezeSharded(opts)
+		// Vertex 63's edges reach only shard 3, so the cascade stays there.
+		g.MustRemoveVertex(63)
+		s2 := g.FreezeSharded(opts)
+		for _, k := range []int{0, 1} {
+			if !sameIDBacking(s1.shards[k].ids, s2.shards[k].ids) ||
+				!sameInt32Backing(s1.shards[k].colIdx, s2.shards[k].colIdx) {
+				t.Errorf("clean shard %d was copied instead of reused by reference", k)
+			}
+		}
+		assertSnapshotMatchesScratch(t, g, s2)
+	})
+	t.Run("mid", func(t *testing.T) {
+		g := buildDenseGraph(64)
+		opts := FreezeOptions{ShardSize: 16}
+		s1 := g.FreezeSharded(opts)
+		s1.IndexesWithLabel(2)
+		g.MustRemoveVertex(20) // shard 1; survivors after index 20 all shift
+		s2 := g.FreezeSharded(opts)
+		if s2.NumVertices() != 63 {
+			t.Fatalf("|V| = %d, want 63", s2.NumVertices())
+		}
+		if _, ok := s2.IndexOf(20); ok {
+			t.Fatal("removed vertex still indexed")
+		}
+		assertSnapshotMatchesScratch(t, g, s2)
+		if s1.NumVertices() != 64 {
+			t.Error("pre-removal snapshot mutated")
+		}
+	})
+}
+
+// TestRemovalLabelIndexCarry pins the seedLabelIndex removal soundness fix: a
+// removal that takes a shard's (or the snapshot's) last holder of a label
+// with it must not let the stale concatenation survive the carry.
+func TestRemovalLabelIndexCarry(t *testing.T) {
+	t.Run("rebuilt-shard-loses-label", func(t *testing.T) {
+		g := New("labels")
+		for v := 0; v < 18; v++ {
+			g.MustAddVertex(VertexID(v), Label(v%3+1))
+		}
+		g.MustAddVertex(18, 9) // sole holder of label 9, last dense index
+		for v := 0; v < 18; v++ {
+			g.MustAddEdge(VertexID(v), 18)
+		}
+		opts := FreezeOptions{ShardSize: 16}
+		s1 := g.FreezeSharded(opts)
+		if got := s1.IndexesWithLabel(9); len(got) != 1 {
+			t.Fatalf("label 9 index %v, want one entry", got)
+		}
+		g.MustRemoveVertex(18) // last position: no shift, carry path taken
+		s2 := g.FreezeSharded(opts)
+		if got := s2.IndexesWithLabel(9); len(got) != 0 {
+			t.Fatalf("label 9 survived its last holder's removal: %v", got)
+		}
+		assertSnapshotMatchesScratch(t, g, s2)
+	})
+	t.Run("dropped-tail-shard", func(t *testing.T) {
+		g := New("labels")
+		for v := 0; v < 16; v++ {
+			g.MustAddVertex(VertexID(v), Label(v%3+1))
+		}
+		g.MustAddVertex(16, 9) // alone in shard 1
+		opts := FreezeOptions{ShardSize: 16}
+		s1 := g.FreezeSharded(opts)
+		s1.IndexesWithLabel(9)
+		g.MustRemoveVertex(16) // shard 1 disappears entirely
+		s2 := g.FreezeSharded(opts)
+		if s2.NumShards() != 1 {
+			t.Fatalf("NumShards = %d, want 1", s2.NumShards())
+		}
+		if got := s2.IndexesWithLabel(9); len(got) != 0 {
+			t.Fatalf("label 9 survived its shard being dropped: %v", got)
+		}
+		assertSnapshotMatchesScratch(t, g, s2)
+	})
+}
+
+func TestFromSnapshotRoundTrip(t *testing.T) {
+	g := buildDenseGraph(50)
+	restored := FromSnapshot(g.FreezeSharded(FreezeOptions{ShardSize: 16}))
+	if !g.Equal(restored) {
+		t.Fatalf("FromSnapshot round trip diverged: %v vs %v", g, restored)
+	}
+}
+
+func TestSharesShard(t *testing.T) {
+	g := buildDenseGraph(64)
+	opts := FreezeOptions{ShardSize: 16}
+	s1 := g.FreezeSharded(opts)
+	g.MustAddEdge(2, 17) // dirties shards 0 and 1
+	s2 := g.FreezeSharded(opts)
+	for k := 0; k < 2; k++ {
+		if s2.SharesShard(s1, k) {
+			t.Errorf("dirty shard %d reported as shared", k)
+		}
+	}
+	for k := 2; k < 4; k++ {
+		if !s2.SharesShard(s1, k) {
+			t.Errorf("clean shard %d reported as changed", k)
+		}
+	}
+	if s2.SharesShard(nil, 0) || s2.SharesShard(s1, 99) {
+		t.Error("SharesShard accepted an out-of-range comparison")
+	}
+}
+
+// TestApplyReplaysMutationStream checks that replaying a drained feed onto a
+// copy of the pre-mutation graph reproduces the mutated graph exactly, and
+// that Apply is strict about mutations that no longer fit.
+func TestApplyReplaysMutationStream(t *testing.T) {
+	g := buildDenseGraph(30)
+	replica := g.Clone()
+	f := g.Subscribe()
+	defer f.Close()
+
+	g.MustAddVertex(100, 7)
+	g.MustAddEdge(100, 3)
+	g.MustRemoveEdge(5, 6)
+	g.MustRemoveVertex(10)
+	g.MustAddVertex(10, 2) // re-add after removal
+	g.MustAddEdge(10, 11)
+
+	for i, m := range f.Drain() {
+		if err := replica.Apply(m); err != nil {
+			t.Fatalf("Apply #%d (%+v): %v", i, m, err)
+		}
+	}
+	if !g.Equal(replica) {
+		t.Fatalf("replay diverged: %v vs %v", g, replica)
+	}
+
+	if err := replica.Apply(Mutation{Kind: MutEdgeAdded, U: 10, V: 11}); err == nil {
+		t.Fatal("duplicate edge replay did not error")
+	}
+	if err := replica.Apply(Mutation{Kind: MutVertexRemoved, U: 10}); err == nil {
+		t.Fatal("removing a non-isolated vertex via Apply did not error")
+	}
+	if err := replica.Apply(Mutation{Kind: 99}); err == nil {
+		t.Fatal("unknown mutation kind did not error")
+	}
+}

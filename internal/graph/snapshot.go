@@ -155,8 +155,9 @@ type snapEntry struct {
 	// remapped on refreeze. Pure appends never set this, which is what makes
 	// append-at-max-ID the cheap path.
 	shifted bool
-	// grown records that the vertex set grew, so the refreeze must re-derive
-	// the shard count and totals even if no pre-existing shard is dirty.
+	// grown records that the vertex set changed (an insert or a removal), so
+	// the refreeze must re-derive the sorted ID list, shard count and totals
+	// even if no pre-existing shard is dirty.
 	grown bool
 	// lastUse orders cache entries for least-recently-used eviction; it is
 	// the Graph's snapClock value at the entry's most recent Freeze hit.
@@ -187,7 +188,8 @@ func (e *snapEntry) markShard(k int) {
 	e.dirty[k] = struct{}{}
 }
 
-// markEndpoint marks the shard owning vertex v dirty after an edge add. A
+// markEndpoint marks the shard owning vertex v dirty after an edge add or
+// removal. A
 // vertex unknown to the snapshot was added after the freeze, so its eventual
 // shard already lies in the dirty suffix; if the bookkeeping ever disagrees,
 // fall back to a full from-scratch rebuild (every shard dirty, identity and
@@ -242,6 +244,35 @@ func (e *snapEntry) markVertexInsert(p int32) {
 	sh := e.snap.ShardOf(p)
 	if e.suffixFrom < 0 || sh < e.suffixFrom {
 		e.suffixFrom = sh
+	}
+}
+
+// markVertexRemove records a vertex removal against the entry's snapshot.
+// Removing the snapshot's last dense index shifts nothing (the mirror of the
+// append fast path), so pure remove-at-max-ID churn keeps clean shards
+// reusable by reference; any earlier position shifts every surviving index
+// after it and sets shifted. A vertex unknown to the snapshot was added after
+// the freeze, so its shard already lies in the dirty suffix recorded by
+// markVertexInsert; the defensive fallback mirrors markEndpoint.
+func (e *snapEntry) markVertexRemove(v VertexID) {
+	if e.suffixFrom == 0 && e.shifted {
+		return // the whole snapshot is already dirty-with-shift
+	}
+	if i, ok := e.snap.IndexOf(v); ok {
+		e.grown = true
+		if int(i) < e.snap.n-1 {
+			e.shifted = true
+		}
+		sh := e.snap.ShardOf(i)
+		if e.suffixFrom < 0 || sh < e.suffixFrom {
+			e.suffixFrom = sh
+		}
+		return
+	}
+	if e.suffixFrom < 0 {
+		e.suffixFrom = 0
+		e.shifted = true
+		e.grown = true
 	}
 }
 
@@ -372,14 +403,33 @@ func (g *Graph) noteVertexAdded(v VertexID) {
 	g.snapMu.Unlock()
 }
 
-// noteEdgeAdded records a successful AddEdge(u, v) against every cached
-// snapshot: only the shards owning the two endpoints are stale — dense index
-// assignment, labels and every other shard's adjacency are unchanged.
-func (g *Graph) noteEdgeAdded(u, v VertexID) {
+// noteEdgeTouched records a successful AddEdge(u, v) or RemoveEdge(u, v)
+// against every cached snapshot: only the shards owning the two endpoints are
+// stale — dense index assignment, labels and every other shard's adjacency
+// are unchanged. Both directions of the edge mutation dirty exactly the same
+// shards, which is what lets removals ride the existing refreeze machinery.
+func (g *Graph) noteEdgeTouched(u, v VertexID) {
 	g.snapMu.Lock()
 	for _, e := range g.snaps {
 		e.markEndpoint(u)
 		e.markEndpoint(v)
+	}
+	g.snapMu.Unlock()
+}
+
+// noteVertexRemoved records a successful RemoveVertex(v) against every cached
+// snapshot: the shards from v's dense position onward are stale because every
+// surviving index after it shifts down by one. Clean shards before that
+// position can still hold colIdx references into the shifted region, which is
+// why a mid-range removal sets shifted (forcing the clean-shard remap on
+// refreeze) exactly like a mid-range insert. A clean shard can never
+// reference the removed vertex itself: any shard with an edge to v was
+// dirtied by the cascade of incident-edge removals that precedes the vertex
+// removal.
+func (g *Graph) noteVertexRemoved(v VertexID) {
+	g.snapMu.Lock()
+	for _, e := range g.snaps {
+		e.markVertexRemove(v)
 	}
 	g.snapMu.Unlock()
 }
@@ -591,9 +641,25 @@ func (s *Snapshot) seedLabelIndex(old *Snapshot, e *snapEntry, rebuiltShards []i
 		s.byLabel.Store(oldIdx)
 		return
 	}
+	// A label is touched when a rebuilt shard holds it now (its indexes may
+	// have changed) or held it before the rebuild (its old indexes may be
+	// gone — a removal can take a shard's last holder of a label with it, so
+	// the old side must be scanned too). Old shards past the new shard count
+	// were dropped entirely by a shrinking removal; everything they held is
+	// touched.
 	touched := make(map[Label]bool)
 	for _, k := range rebuiltShards {
 		for l := range s.shards[k].byLabel {
+			touched[l] = true
+		}
+		if k < len(old.shards) {
+			for l := range old.shards[k].byLabel {
+				touched[l] = true
+			}
+		}
+	}
+	for k := len(s.shards); k < len(old.shards); k++ {
+		for l := range old.shards[k].byLabel {
 			touched[l] = true
 		}
 	}

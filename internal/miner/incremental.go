@@ -20,14 +20,21 @@ import (
 // from a cold start.
 //
 // Keeping the pruned boundary warm is what makes Refresh complete, not just
-// fast: supports only grow under the insert-only mutation model, so a
-// pattern can newly become frequent only by crossing the threshold at the
-// boundary (anti-monotonicity guarantees all its subpatterns crossed first).
-// When that happens Refresh expands the search from exactly those patterns,
-// evaluating newly reachable candidates (the only cold enumerations left)
-// and growing the tracked set. Refresh results are therefore identical to
-// running Mine from scratch on the mutated graph — the session trades the
-// memory of the tracked contexts for never paying the full re-enumeration.
+// fast, under insertions and deletions alike. Every tracked candidate is
+// re-evaluated on every Refresh, so downward crossings are free: a deletion
+// that drags a support below the threshold simply flips the candidate back
+// into the pruned boundary, where it stays warm — its children remain
+// tracked and re-evaluated too, so their own (necessarily no larger)
+// supports answer for themselves. Upward crossings are where new work can
+// hide, and they expand the search from exactly the crossing patterns:
+// anti-monotonicity guarantees a pattern can newly become frequent only
+// after all its subpatterns are, so the frontier of threshold-crossing
+// boundary patterns (plus seeds over unseen label pairs and re-extensions
+// under a widened alphabet) reaches every newly frequent candidate, and
+// those are the only cold enumerations left. Refresh results are therefore
+// identical to running Mine from scratch on the mutated graph — the session
+// trades the memory of the tracked contexts for never paying the full
+// re-enumeration.
 //
 // An Incremental session is single-threaded: Refresh and the accessors must
 // not race with each other or with mutations of the data graph.
@@ -37,8 +44,9 @@ type Incremental struct {
 
 	feed *graph.MutationFeed
 	// tracked maps canonical pattern codes to their live mining state; it
-	// only ever grows (a tracked pattern is never evicted, because its
-	// support can only grow toward the threshold).
+	// only ever grows. A candidate whose support falls below the threshold
+	// (deletions can do that) is not evicted: it rejoins the pruned boundary,
+	// ready to cross back cheaply when later insertions revive it.
 	tracked map[string]*trackedPattern
 	// labels is the label alphabet extensions are generated over; new vertex
 	// labels widen it on Refresh.
@@ -141,12 +149,15 @@ func (inc *Incremental) Result() *Result { return inc.result }
 func (inc *Incremental) TrackedPatterns() int { return len(inc.tracked) }
 
 // Refresh synchronizes the session with every graph mutation since the
-// previous run and returns the updated mining result, equal to what Mine
-// would report on the mutated graph. The support of every tracked pattern
-// is delta-maintained (no cold re-enumeration); only patterns that newly
-// become reachable — extensions past a boundary pattern that crossed the
-// threshold, or seeds over new label pairs — are enumerated from scratch,
-// once, on their way into the tracked set.
+// previous run — removals included — and returns the updated mining result,
+// equal to what Mine would report on the mutated graph. The support of every
+// tracked pattern is delta-maintained (no cold re-enumeration) and then
+// re-checked against the threshold in both directions: deletions can push a
+// previously frequent pattern back into the pruned boundary, and the
+// re-assembled result drops it exactly as a cold re-mine would. Only
+// patterns that newly become reachable — extensions past a boundary pattern
+// that crossed the threshold upward, or seeds over new label pairs — are
+// enumerated from scratch, once, on their way into the tracked set.
 func (inc *Incremental) Refresh() (*Result, error) {
 	if inc.closed {
 		return nil, fmt.Errorf("miner: Refresh on a closed incremental session")
@@ -198,10 +209,12 @@ func (inc *Incremental) Refresh() (*Result, error) {
 	}
 
 	// New one-edge seeds can only come from added edges over unseen label
-	// pairs.
+	// pairs. An edge that was added and then removed (or lost an endpoint)
+	// within the same batch seeds nothing: a cold mine of the final graph
+	// would not see it either, and its labels may already be gone.
 	var newEdges []graph.Edge
 	for _, m := range muts {
-		if m.Kind == graph.MutEdgeAdded {
+		if m.Kind == graph.MutEdgeAdded && inc.g.HasEdge(m.U, m.V) {
 			newEdges = append(newEdges, graph.Edge{U: m.U, V: m.V})
 		}
 	}

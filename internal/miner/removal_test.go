@@ -1,0 +1,158 @@
+package miner_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/miner"
+)
+
+// TestIncrementalDownwardCrossing pins the deletion half of the tentpole: a
+// pattern whose support sinks below the threshold after edge removals must
+// vanish from the incremental result exactly as it does from a cold re-mine,
+// and cross back when insertions revive it.
+func TestIncrementalDownwardCrossing(t *testing.T) {
+	cfg := miner.Config{MinSupport: 4, MaxPatternSize: 3, EnumParallelism: 1}
+	// Four disjoint triangles over labels (1,2,3): the labeled triangle
+	// pattern has MNI support 4, exactly at the threshold, so removing one
+	// edge of any copy drops it below.
+	g := graph.New("tri4")
+	for i := 0; i < 4; i++ {
+		base := graph.VertexID(i * 3)
+		g.MustAddVertex(base, 1)
+		g.MustAddVertex(base+1, 2)
+		g.MustAddVertex(base+2, 3)
+		g.MustAddEdge(base, base+1)
+		g.MustAddEdge(base+1, base+2)
+		g.MustAddEdge(base, base+2)
+	}
+
+	inc, err := miner.NewIncremental(g, cfg)
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+	defer inc.Close()
+	requireSameMining(t, inc.Result(), freshMine(t, g, cfg), "initial")
+	baseline := len(inc.Result().Patterns)
+	if baseline == 0 {
+		t.Fatal("setup produced no frequent patterns")
+	}
+
+	// Break one triangle: every pattern using all three labels drops to 3.
+	g.MustRemoveEdge(0, 1)
+	res, err := inc.Refresh()
+	if err != nil {
+		t.Fatalf("Refresh (downward): %v", err)
+	}
+	requireSameMining(t, res, freshMine(t, g, cfg), "downward crossing")
+	if len(res.Patterns) >= baseline {
+		t.Fatalf("deletion left %d frequent patterns, want fewer than %d", len(res.Patterns), baseline)
+	}
+
+	// Repair it: the boundary candidates cross back upward without any cold
+	// re-seeding (their label pair is long known).
+	g.MustAddEdge(0, 1)
+	res, err = inc.Refresh()
+	if err != nil {
+		t.Fatalf("Refresh (upward): %v", err)
+	}
+	requireSameMining(t, res, freshMine(t, g, cfg), "upward recovery")
+	if len(res.Patterns) != baseline {
+		t.Fatalf("recovery reports %d frequent patterns, want %d", len(res.Patterns), baseline)
+	}
+}
+
+// mutationScript replays a seeded, table-driven random interleaving of the
+// four mutation kinds (plus deliberate no-op removals) against g, one op per
+// call. IDs for fresh vertices grow from 100_000 so they never collide with
+// the generator's.
+type mutationScript struct {
+	rng    *rand.Rand
+	nextID graph.VertexID
+}
+
+func (s *mutationScript) step(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	ids := g.SortedVertices()
+	switch roll := s.rng.Intn(100); {
+	case roll < 15: // add a fresh vertex, usually wired in immediately
+		v := s.nextID
+		s.nextID++
+		g.MustAddVertex(v, graph.Label(s.rng.Intn(3)+1))
+		if len(ids) > 0 && s.rng.Intn(4) > 0 {
+			g.MustAddEdge(v, ids[s.rng.Intn(len(ids))])
+		}
+	case roll < 55: // add an edge between existing vertices
+		for try := 0; try < 8 && len(ids) >= 2; try++ {
+			u, v := ids[s.rng.Intn(len(ids))], ids[s.rng.Intn(len(ids))]
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+				break
+			}
+		}
+	case roll < 85: // remove an existing edge
+		if edges := g.Edges(); len(edges) > 0 {
+			e := edges[s.rng.Intn(len(edges))]
+			g.MustRemoveEdge(e.U, e.V)
+		}
+	case roll < 93: // remove an existing vertex (cascades its edges)
+		if len(ids) > 4 {
+			g.MustRemoveVertex(ids[s.rng.Intn(len(ids))])
+		}
+	default: // deliberate no-op removals must error and change nothing
+		if err := g.RemoveVertex(999_999); err == nil {
+			t.Fatal("removing an unknown vertex did not error")
+		}
+		if err := g.RemoveEdge(999_998, 999_999); err == nil {
+			t.Fatal("removing an absent edge did not error")
+		}
+	}
+}
+
+// TestIncrementalRandomizedInterleavings is the property-test satellite: a
+// seeded ~200-op random interleaving of Add/Remove vertex/edge ops, refreshed
+// every 25 ops, must keep the incremental session byte-identical (patterns,
+// supports, occurrence and instance counts) to a cold re-mine of a scratch
+// rebuild of the mutated graph — at shards {1, 2, 7} × parallelism {1, 4},
+// under -race in CI. The same seed drives every configuration, so all eight
+// sessions see the same mutation history.
+func TestIncrementalRandomizedInterleavings(t *testing.T) {
+	const (
+		ops         = 200
+		refreshStep = 25
+		seed        = 1789
+	)
+	for _, shards := range []int{1, 2, 7} {
+		for _, par := range []int{1, 4} {
+			cfg := miner.Config{
+				MinSupport:      3,
+				MaxPatternSize:  3,
+				Parallelism:     par, // candidate-level refresh fan-out
+				EnumShards:      shards,
+				EnumParallelism: 1,
+			}
+			g := gen.BarabasiAlbert(40, 2, gen.UniformLabels{K: 3}, 23)
+			inc, err := miner.NewIncremental(g, cfg)
+			if err != nil {
+				t.Fatalf("shards=%d par=%d: NewIncremental: %v", shards, par, err)
+			}
+			defer inc.Close()
+			requireSameMining(t, inc.Result(), freshMine(t, g, cfg), "initial")
+
+			script := &mutationScript{rng: rand.New(rand.NewSource(seed)), nextID: 100_000}
+			for op := 1; op <= ops; op++ {
+				script.step(t, g)
+				if op%refreshStep != 0 {
+					continue
+				}
+				res, err := inc.Refresh()
+				if err != nil {
+					t.Fatalf("shards=%d par=%d op=%d: Refresh: %v", shards, par, op, err)
+				}
+				requireSameMining(t, res, freshMine(t, g, cfg), "interleaved refresh")
+			}
+		}
+	}
+}

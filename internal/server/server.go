@@ -133,6 +133,9 @@ func engineSource(eng *support.Engine) string {
 	if _, ok := eng.Residency(); ok {
 		return "store"
 	}
+	if _, _, ok := eng.Durable(); ok {
+		return "durable"
+	}
 	if eng.Mutable() {
 		return "graph"
 	}
@@ -211,10 +214,12 @@ func (s *Server) Mine(req *MineWire) (*MineResponse, error) {
 }
 
 // Mutate implements EngineAPI: apply a batch of vertex/edge additions and
-// refreeze. Duplicate vertices (same label) and duplicate edges are skipped,
-// not errors, so clients can replay batches idempotently; conflicting labels,
-// self loops and dangling edges fail the batch (mutations applied before the
-// failure are still published, as Engine.Update documents).
+// removals, then refreeze. Duplicate vertices (same label), duplicate edges
+// and absent removal targets are skipped, not errors, so clients can replay
+// batches idempotently — and a skipped mutation never touches the graph, so
+// it dirties no shard and reaches no mutation feed. Conflicting labels,
+// self loops and dangling edges fail the batch (mutations applied before
+// the failure are still published, as Engine.Update documents).
 func (s *Server) Mutate(req *MutateRequest) (*MutateResponse, error) {
 	out := &MutateResponse{}
 	epoch, err := s.eng.Update(func(g *support.Graph) error {
@@ -237,6 +242,26 @@ func (s *Server) Mutate(req *MutateRequest) (*MutateResponse, error) {
 				return err
 			}
 			out.AppliedEdges++
+		}
+		for _, e := range req.RemoveEdges {
+			u, v := support.VertexID(e[0]), support.VertexID(e[1])
+			if !g.HasEdge(u, v) {
+				continue
+			}
+			if err := g.RemoveEdge(u, v); err != nil {
+				return err
+			}
+			out.RemovedEdges++
+		}
+		for _, id := range req.RemoveVertices {
+			v := support.VertexID(id)
+			if !g.HasVertex(v) {
+				continue
+			}
+			if err := g.RemoveVertex(v); err != nil {
+				return err
+			}
+			out.RemovedVertices++
 		}
 		return nil
 	})

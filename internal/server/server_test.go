@@ -175,6 +175,28 @@ func TestHTTPEndpoints(t *testing.T) {
 		if mu.Epoch != 3 || mu.AppliedVertices != 0 || mu.AppliedEdges != 0 {
 			t.Fatalf("replayed mutate = %+v", mu)
 		}
+		// Removals ride the same batch path: drop one of the added edges and
+		// then the vertex (cascading its remaining edge). Absent targets are
+		// skipped without touching the graph, so the whole removal batch is
+		// replayable too.
+		removals := MutateRequest{
+			RemoveEdges:    [][2]int{{900, 0}, {123456, 0}},
+			RemoveVertices: []int{900, 123457},
+		}
+		raw = postOK(t, c, ts.URL+"/v1/mutate", removals)
+		if err := json.Unmarshal(raw, &mu); err != nil {
+			t.Fatal(err)
+		}
+		if mu.Epoch != 4 || mu.RemovedEdges != 1 || mu.RemovedVertices != 1 {
+			t.Fatalf("removal mutate = %+v", mu)
+		}
+		raw = postOK(t, c, ts.URL+"/v1/mutate", removals)
+		if err := json.Unmarshal(raw, &mu); err != nil {
+			t.Fatal(err)
+		}
+		if mu.Epoch != 5 || mu.RemovedEdges != 0 || mu.RemovedVertices != 0 {
+			t.Fatalf("replayed removal mutate = %+v", mu)
+		}
 	})
 
 	t.Run("session-lifecycle", func(t *testing.T) {

@@ -177,12 +177,23 @@ type VertexWire struct {
 }
 
 // MutateRequest applies a mutation batch and refreezes: the response epoch
-// is the first epoch whose snapshots include the batch.
+// is the first epoch whose snapshots include the batch. Additions are
+// applied first (vertices before edges), then edge removals, then vertex
+// removals — so a batch can move an edge or replace a vertex in one epoch.
 type MutateRequest struct {
 	// AddVertices lists vertices to add (applied before edges).
 	AddVertices []VertexWire `json:"add_vertices,omitempty"`
 	// AddEdges lists undirected edges to add as vertex-ID pairs.
 	AddEdges [][2]int `json:"add_edges,omitempty"`
+	// RemoveEdges lists undirected edges to remove as vertex-ID pairs.
+	// Absent edges are skipped, not errors, so batches replay idempotently —
+	// and a skipped removal never dirties a shard or reaches a mutation
+	// feed.
+	RemoveEdges [][2]int `json:"remove_edges,omitempty"`
+	// RemoveVertices lists vertices to remove; each removal cascades over
+	// the vertex's incident edges. Absent vertices are skipped like absent
+	// edges.
+	RemoveVertices []int `json:"remove_vertices,omitempty"`
 }
 
 // MutateResponse reports the outcome of a mutation batch.
@@ -194,6 +205,11 @@ type MutateResponse struct {
 	AppliedVertices int `json:"applied_vertices"`
 	// AppliedEdges is documented on AppliedVertices.
 	AppliedEdges int `json:"applied_edges"`
+	// RemovedEdges and RemovedVertices count the removals that took effect;
+	// RemovedEdges does not include edges cascaded away by a vertex removal.
+	RemovedEdges int `json:"removed_edges"`
+	// RemovedVertices is documented on RemovedEdges.
+	RemovedVertices int `json:"removed_vertices"`
 }
 
 // OpenSessionRequest starts a warm mining session.
@@ -229,7 +245,8 @@ type CloseSessionResponse struct {
 type StatsResponse struct {
 	// Epoch is the current snapshot epoch.
 	Epoch uint64 `json:"epoch"`
-	// Source describes the data source ("graph", "snapshot" or "store").
+	// Source describes the data source ("graph", "snapshot", "store" or
+	// "durable").
 	Source string `json:"source"`
 	// Name is the data graph's name.
 	Name string `json:"name"`

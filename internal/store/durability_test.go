@@ -1,0 +1,406 @@
+package store_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// TestWriteUpdateCarriesCleanSegments pins the incremental-rewrite tentpole:
+// after a refreeze that dirtied a couple of shards, WriteUpdate against the
+// same directory must re-encode only those and carry every clean segment by
+// reference — and the carried checksums must still verify on Open.
+func TestWriteUpdateCarriesCleanSegments(t *testing.T) {
+	g := workloadGraph(t)
+	opts := graph.FreezeOptions{ShardSize: 64}
+	dir := t.TempDir()
+
+	snap1 := g.FreezeSharded(opts)
+	stats1, err := store.WriteUpdate(snap1, dir, nil)
+	if err != nil {
+		t.Fatalf("initial WriteUpdate: %v", err)
+	}
+	if stats1.Epoch != 1 || stats1.SegmentsWritten != snap1.NumShards() || stats1.SegmentsCarried != 0 {
+		t.Fatalf("fresh write stats %+v, want epoch 1 and all %d segments written", stats1, snap1.NumShards())
+	}
+
+	// Remove one edge inside the last shard: only the endpoint shards are
+	// rebuilt, so at most two segments may be rewritten.
+	ids := g.SortedVertices()
+	u := ids[len(ids)-1]
+	g.MustRemoveEdge(u, g.Neighbors(u)[0])
+
+	snap2 := g.FreezeSharded(opts)
+	stats2, err := store.WriteUpdate(snap2, dir, snap1)
+	if err != nil {
+		t.Fatalf("incremental WriteUpdate: %v", err)
+	}
+	if stats2.Epoch != 2 {
+		t.Fatalf("second commit has epoch %d, want 2", stats2.Epoch)
+	}
+	if stats2.SegmentsWritten > 2 || stats2.SegmentsCarried < snap2.NumShards()-2 {
+		t.Fatalf("one-edge removal rewrote %d segments and carried %d of %d",
+			stats2.SegmentsWritten, stats2.SegmentsCarried, snap2.NumShards())
+	}
+
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("Open after incremental rewrite: %v", err)
+	}
+	defer st.Close()
+	if man := st.Manifest(); man.Epoch != 2 {
+		t.Fatalf("manifest epoch %d, want 2", man.Epoch)
+	}
+	if !graph.FromSnapshot(st.Snapshot()).Equal(g) {
+		t.Fatal("incrementally rewritten store does not match the mutated graph")
+	}
+}
+
+// crashBatches builds the deterministic mutation batches of the durability
+// scenarios: inserts, edge removals, a cascading vertex removal, and a mixed
+// batch. scale grows the vertex span so heavy mode touches more shards.
+func crashBatches(scale int) []func(*graph.Graph) {
+	n := graph.VertexID(8 * scale)
+	return []func(*graph.Graph){
+		func(g *graph.Graph) {
+			for i := graph.VertexID(0); i < n; i++ {
+				g.MustAddVertex(i, graph.Label(int(i)%3+1))
+			}
+			for i := graph.VertexID(0); i < n; i++ {
+				g.MustAddEdge(i, (i+1)%n)
+			}
+			for i := graph.VertexID(0); i+2 < n; i += 2 {
+				g.MustAddEdge(i, i+2)
+			}
+		},
+		func(g *graph.Graph) {
+			g.MustRemoveEdge(0, 1)
+			g.MustRemoveVertex(5)
+			for i := graph.VertexID(0); i < graph.VertexID(2*scale); i++ {
+				v := 100 + i
+				g.MustAddVertex(v, graph.Label(int(i)%3+1))
+				g.MustAddEdge(v, i%4)
+			}
+		},
+		func(g *graph.Graph) {
+			g.MustAddEdge(1, 3)
+			g.MustRemoveVertex(100)
+			g.MustAddVertex(200, 2)
+			g.MustAddEdge(200, 2)
+		},
+	}
+}
+
+// crashStates returns the expected graph after each acknowledged prefix of
+// crashBatches: states[0] is empty, states[b+1] includes batches 0..b.
+func crashStates(scale int) []*graph.Graph {
+	states := []*graph.Graph{graph.New("expected")}
+	cur := graph.New("expected")
+	for _, batch := range crashBatches(scale) {
+		batch(cur)
+		snap := graph.FromSnapshot(cur.Freeze())
+		states = append(states, snap)
+	}
+	return states
+}
+
+// runLifecycle drives one full durable lifecycle against dir — batch 0,
+// Log, Commit, batch 1, Log, batch 2, Log, Commit — returning how many
+// batches were acknowledged (their Log returned) before the first error.
+func runLifecycle(dir string, scale int) (acked int, err error) {
+	db, err := store.OpenDB(dir, 4)
+	if err != nil {
+		return 0, err
+	}
+	defer db.Close()
+	batches := crashBatches(scale)
+	batches[0](db.Graph())
+	if err := db.Log(); err != nil {
+		return 0, err
+	}
+	acked = 1
+	if _, err := db.Commit(); err != nil {
+		return acked, err
+	}
+	batches[1](db.Graph())
+	if err := db.Log(); err != nil {
+		return acked, err
+	}
+	acked = 2
+	batches[2](db.Graph())
+	if err := db.Log(); err != nil {
+		return acked, err
+	}
+	acked = 3
+	if _, err := db.Commit(); err != nil {
+		return acked, err
+	}
+	return acked, nil
+}
+
+// crashScale picks the sweep workload size: the CI recovery-forced pass
+// sets REPRO_STORE_CRASH_HEAVY to run the same sweep over a graph spanning
+// several shards per batch.
+func crashScale() int {
+	if os.Getenv("REPRO_STORE_CRASH_HEAVY") != "" {
+		return 4
+	}
+	return 1
+}
+
+// TestCrashSweepRecoversEveryFaultPoint is the crash-injection harness: it
+// first records every fault point the lifecycle fires, then re-runs the
+// lifecycle once per firing with an injected crash at exactly that step —
+// torn writes included — and requires that OpenDB on the aborted directory
+// always recovers a consistent state containing every acknowledged batch,
+// and that the recovered database commits and round-trips cleanly.
+func TestCrashSweepRecoversEveryFaultPoint(t *testing.T) {
+	scale := crashScale()
+	states := crashStates(scale)
+
+	var fired []string
+	store.SetFaultHook(func(point, detail string) error {
+		fired = append(fired, point)
+		return nil
+	})
+	acked, err := runLifecycle(t.TempDir(), scale)
+	store.SetFaultHook(nil)
+	if err != nil || acked != len(states)-1 {
+		t.Fatalf("clean lifecycle acknowledged %d batches, err %v", acked, err)
+	}
+
+	// The scenario must exercise the whole protocol: a fault point that
+	// never fires is a fault point the sweep silently stopped covering.
+	want := []string{
+		"segment-write", "segment-sync", "segs-dir-sync",
+		"manifest-write", "manifest-sync", "manifest-rename",
+		"commit-dir-sync", "segment-gc",
+		"wal-append", "wal-sync", "wal-reset",
+	}
+	seen := make(map[string]bool)
+	for _, p := range fired {
+		seen[p] = true
+	}
+	for _, p := range want {
+		if !seen[p] {
+			t.Fatalf("lifecycle never fired fault point %q (fired: %v)", p, fired)
+		}
+	}
+
+	for i := range fired {
+		count, hit := 0, ""
+		store.SetFaultHook(func(point, detail string) error {
+			count++
+			if count > i {
+				if hit == "" {
+					hit = fmt.Sprintf("%s #%d", point, count)
+				}
+				return fmt.Errorf("injected crash at %s (firing %d)", point, count)
+			}
+			return nil
+		})
+		dir := t.TempDir()
+		acked, err := runLifecycle(dir, scale)
+		store.SetFaultHook(nil)
+		if err == nil {
+			t.Fatalf("injection %d: lifecycle did not crash", i)
+		}
+
+		db, err := store.OpenDB(dir, 4)
+		if err != nil {
+			t.Fatalf("injection %d (%s): recovery failed: %v", i, hit, err)
+		}
+		got := db.Graph()
+		match := -1
+		for j := len(states) - 1; j >= 0; j-- {
+			if got.Equal(states[j]) {
+				match = j
+				break
+			}
+		}
+		if match < acked {
+			t.Fatalf("injection %d (%s): recovered state %d of %d, but %d batches were acknowledged",
+				i, hit, match, len(states)-1, acked)
+		}
+		if _, err := db.Commit(); err != nil {
+			t.Fatalf("injection %d (%s): commit after recovery: %v", i, hit, err)
+		}
+		db.Close()
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			t.Fatalf("injection %d (%s): reopening committed store: %v", i, hit, err)
+		}
+		if !graph.FromSnapshot(st.Snapshot()).Equal(got) {
+			t.Fatalf("injection %d (%s): committed store does not match the recovered graph", i, hit)
+		}
+		st.Close()
+	}
+}
+
+// TestWALRoundTripAndTornTail pins the log format: appended batches decode
+// byte-exactly with their epoch stamps, and a tail torn mid-record is
+// silently dropped while the intact prefix survives.
+func TestWALRoundTripAndTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := store.OpenWAL(dir, 7)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	defer w.Close()
+	b1 := []graph.Mutation{
+		{Kind: graph.MutVertexAdded, U: 1, Label: 9},
+		{Kind: graph.MutEdgeAdded, U: 1, V: 2},
+	}
+	b2 := []graph.Mutation{
+		{Kind: graph.MutEdgeRemoved, U: 1, V: 2},
+		{Kind: graph.MutVertexRemoved, U: 1, Label: 9},
+	}
+	if err := w.Append(b1); err != nil {
+		t.Fatalf("Append b1: %v", err)
+	}
+	if err := w.Append(nil); err != nil {
+		t.Fatalf("empty Append: %v", err)
+	}
+	if err := w.Append(b2); err != nil {
+		t.Fatalf("Append b2: %v", err)
+	}
+
+	batches, err := store.ReadWAL(dir)
+	if err != nil {
+		t.Fatalf("ReadWAL: %v", err)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("decoded %d batches, want 2", len(batches))
+	}
+	for bi, want := range [][]graph.Mutation{b1, b2} {
+		got := batches[bi]
+		if got.Epoch != 7 || len(got.Muts) != len(want) {
+			t.Fatalf("batch %d: epoch %d with %d mutations, want epoch 7 with %d", bi, got.Epoch, len(got.Muts), len(want))
+		}
+		for mi, m := range want {
+			if got.Muts[mi] != m {
+				t.Fatalf("batch %d mutation %d: %+v, want %+v", bi, mi, got.Muts[mi], m)
+			}
+		}
+	}
+
+	// Tear the last record: the intact prefix is the replayable history.
+	path := filepath.Join(dir, store.WALFile)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("stat WAL: %v", err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatalf("tearing WAL: %v", err)
+	}
+	batches, err = store.ReadWAL(dir)
+	if err != nil {
+		t.Fatalf("ReadWAL (torn): %v", err)
+	}
+	if len(batches) != 1 || len(batches[0].Muts) != 2 {
+		t.Fatalf("torn log decoded %d batches, want the intact first one", len(batches))
+	}
+}
+
+// TestWALBrokenLatchUntilReset pins the fail-fast contract: once an append
+// tears, further appends are refused (they could never be replayed past the
+// torn record) until Reset truncates the log.
+func TestWALBrokenLatchUntilReset(t *testing.T) {
+	dir := t.TempDir()
+	w, err := store.OpenWAL(dir, 1)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	defer w.Close()
+	muts := []graph.Mutation{{Kind: graph.MutVertexAdded, U: 3, Label: 1}}
+
+	store.SetFaultHook(func(point, detail string) error {
+		if point == "wal-append" {
+			return fmt.Errorf("injected torn append")
+		}
+		return nil
+	})
+	err = w.Append(muts)
+	store.SetFaultHook(nil)
+	if err == nil {
+		t.Fatal("injected append did not fail")
+	}
+	if err := w.Append(muts); err == nil {
+		t.Fatal("append after a torn append must fail until Reset")
+	}
+	if err := w.Reset(2); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if err := w.Append(muts); err != nil {
+		t.Fatalf("append after Reset: %v", err)
+	}
+	batches, err := store.ReadWAL(dir)
+	if err != nil {
+		t.Fatalf("ReadWAL: %v", err)
+	}
+	if len(batches) != 1 || batches[0].Epoch != 2 {
+		t.Fatalf("log holds %d batches, want exactly the post-Reset one at epoch 2", len(batches))
+	}
+}
+
+// TestDBReopenReplaysTail pins the recovery contract end to end without
+// injected faults: logged-but-uncommitted mutations survive Close and are
+// replayed by OpenDB; Commit folds them in, truncates the log, and bumps
+// the epoch; a committed reopen starts with nothing pending.
+func TestDBReopenReplaysTail(t *testing.T) {
+	dir := t.TempDir()
+	batches := crashBatches(1)
+	states := crashStates(1)
+
+	db, err := store.OpenDB(dir, 4)
+	if err != nil {
+		t.Fatalf("OpenDB: %v", err)
+	}
+	batches[0](db.Graph())
+	if err := db.Log(); err != nil {
+		t.Fatalf("Log: %v", err)
+	}
+	if db.Pending() == 0 {
+		t.Fatal("logged batch left nothing pending")
+	}
+	db.Close()
+
+	db, err = store.OpenDB(dir, 4)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if !db.Graph().Equal(states[1]) {
+		t.Fatal("reopen did not replay the logged tail")
+	}
+	if db.Epoch() != 0 || db.Pending() == 0 {
+		t.Fatalf("replayed db at epoch %d with %d pending, want epoch 0 with a pending tail", db.Epoch(), db.Pending())
+	}
+	stats, err := db.Commit()
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if stats.Epoch != 1 || db.Epoch() != 1 || db.Pending() != 0 {
+		t.Fatalf("commit stats %+v, db epoch %d pending %d", stats, db.Epoch(), db.Pending())
+	}
+	if tail, err := store.ReadWAL(dir); err != nil || len(tail) != 0 {
+		t.Fatalf("WAL after commit holds %d batches (err %v), want none", len(tail), err)
+	}
+	batches[1](db.Graph())
+	if _, err := db.Commit(); err != nil {
+		t.Fatalf("second Commit: %v", err)
+	}
+	db.Close()
+
+	db, err = store.OpenDB(dir, 4)
+	if err != nil {
+		t.Fatalf("final reopen: %v", err)
+	}
+	defer db.Close()
+	if !db.Graph().Equal(states[2]) || db.Epoch() != 2 || db.Pending() != 0 {
+		t.Fatalf("final reopen: epoch %d, pending %d, graph match %v", db.Epoch(), db.Pending(), db.Graph().Equal(states[2]))
+	}
+}

@@ -1,0 +1,41 @@
+package store
+
+// Fault injection for the durability protocols. Every write, fsync, rename
+// and truncate step of the segment-rewrite commit path and the WAL is
+// preceded by a named fault point; the crash-injection tests install a hook
+// that aborts the protocol at exactly one point and then verify that Open
+// and OpenDB recover a consistent epoch from whatever the aborted run left
+// on disk. With no hook installed the points cost one nil check each.
+//
+// The points, in commit order:
+//
+//	segment-write    torn segment file write (half the bytes hit the disk)
+//	segment-sync     segment written but never fsynced
+//	segs-dir-sync    segments durable, directory entry flush skipped
+//	manifest-write   torn manifest.json.tmp write
+//	manifest-sync    manifest tmp written but never fsynced
+//	manifest-rename  abort just before the atomic commit rename
+//	commit-dir-sync  manifest renamed (committed) but directory flush skipped
+//	segment-gc       abort before unreferenced old segments are removed
+//
+// and on the WAL side:
+//
+//	wal-append       torn batch record (half the bytes hit the disk)
+//	wal-sync         batch written but never fsynced
+//	wal-reset        abort just before the post-commit truncate
+var faultHook func(point, detail string) error
+
+// SetFaultHook installs (or, with nil, removes) the crash-injection hook.
+// The hook is called at every named fault point with the point name and the
+// file the step was about to touch; a non-nil return aborts the protocol at
+// that step, leaving the partial on-disk state exactly as a crash would.
+// Tests only; not safe to call while a Write or WAL operation is in flight.
+func SetFaultHook(hook func(point, detail string) error) { faultHook = hook }
+
+// fireFault consults the installed hook at one named fault point.
+func fireFault(point, detail string) error {
+	if faultHook == nil {
+		return nil
+	}
+	return faultHook(point, detail)
+}

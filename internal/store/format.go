@@ -54,6 +54,14 @@ type Manifest struct {
 	ShardShift uint `json:"shard_shift"`
 	// Shards is the shard count; it always equals len(Segments).
 	Shards int `json:"shards"`
+	// Epoch is the commit counter of the directory: it starts at 1 on the
+	// first Write and increments on every successful rewrite. Segment files
+	// written by epoch E carry E in their name so an in-place rewrite never
+	// overwrites a file the live manifest still references, and the WAL
+	// stamps every batch with the epoch it was logged under so recovery can
+	// skip batches already folded into the durable snapshot. Stores written
+	// before epochs existed decode as 0 and commit their next rewrite as 1.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Segments describes the per-shard segment files in shard order.
 	Segments []Segment `json:"segments"`
 }

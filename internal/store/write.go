@@ -13,31 +13,67 @@ import (
 	"repro/internal/graph"
 )
 
+// WriteStats reports what one WriteUpdate commit actually did: the epoch it
+// committed and how many segments it had to encode versus carry over from
+// the previous manifest untouched. A refreeze that dirtied one shard of a
+// large store should report SegmentsWritten == 1.
+type WriteStats struct {
+	// Epoch is the epoch number the commit installed in the manifest.
+	Epoch uint64
+	// SegmentsWritten counts the segments encoded and fsynced by this call.
+	SegmentsWritten int
+	// SegmentsCarried counts the segments reused from the previous manifest
+	// by reference (file name and checksum copied, bytes never re-read).
+	SegmentsCarried int
+}
+
 // Write persists a frozen snapshot into dir as an out-of-core shard store:
 // one flat binary segment per CSR shard plus a manifest with per-segment
 // checksums. Any snapshot works — freshly frozen, incrementally refrozen, or
 // even one that was itself opened from a store. The directory is created if
-// needed; an existing store in it is replaced.
+// needed; an existing store in it is replaced. It is WriteUpdate without a
+// previous snapshot: every segment is rewritten.
+func Write(snap *graph.Snapshot, dir string) error {
+	_, err := WriteUpdate(snap, dir, nil)
+	return err
+}
+
+// WriteUpdate persists snap into dir, rewriting only the segments that
+// changed since prev. When prev is the snapshot the directory's current
+// manifest was written from (the engine threads its last committed snapshot
+// through), every shard that prev and snap share by array identity — see
+// Snapshot.SharesShard — keeps its existing segment file and checksum, and
+// only the dirty shards are encoded. With prev nil, or a prev that does not
+// match the directory (different shard geometry, stale totals), every
+// segment is written; the result is identical either way.
 //
-// Every segment is staged under a temporary name and the whole set is
-// renamed into place only after all of them encoded successfully, with the
-// manifest renamed last and segment files a smaller previous store leaves
-// behind removed after that — so a Write that crashes while encoding leaves
-// an existing store fully intact, and a fresh directory is either complete
-// or unopenable. (A crash inside the final rename sequence of an in-place
-// rewrite can still leave the old manifest next to new segments; rewriters
-// that need atomicity under that window should write to a fresh directory
-// and swap directories.)
+// Durability follows a manifest-swap commit protocol. New segments are
+// written under epoch-stamped names that no previous manifest references,
+// fsynced, and made durable with a directory flush; then the new manifest —
+// carrying the incremented epoch — is staged to a temp file, fsynced, and
+// renamed over ManifestFile. That rename is the commit point: a crash at any
+// earlier step leaves the previous manifest (and every segment it
+// references) untouched, so Open recovers the previous epoch; a crash after
+// it recovers the new one. Unreferenced segment files — the previous epoch's
+// versions of rewritten shards, or debris of a crashed earlier attempt — are
+// removed only after the commit, and a crash during that sweep merely leaves
+// garbage for the next commit to collect.
 //
 // The segment encoding is pointer-free and section-aligned so Open can serve
 // the shard arrays directly from the mapped file bytes; see segLayout for
 // the exact layout.
-func Write(snap *graph.Snapshot, dir string) error {
+func WriteUpdate(snap *graph.Snapshot, dir string, prev *graph.Snapshot) (WriteStats, error) {
+	var stats WriteStats
 	if snap == nil {
-		return fmt.Errorf("store: nil snapshot")
+		return stats, fmt.Errorf("store: nil snapshot")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("store: creating %s: %w", dir, err)
+		return stats, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	old, haveOld := previousManifest(dir)
+	epoch := old.Epoch + 1
+	if !haveOld {
+		epoch = 1
 	}
 	man := Manifest{
 		Format:     FormatName,
@@ -47,79 +83,153 @@ func Write(snap *graph.Snapshot, dir string) error {
 		Edges:      snap.NumEdges(),
 		ShardShift: uint(bits.TrailingZeros(uint(snap.ShardSize()))),
 		Shards:     snap.NumShards(),
+		Epoch:      epoch,
 	}
+	carry := haveOld && prev != nil &&
+		old.ShardShift == man.ShardShift &&
+		old.Shards == prev.NumShards() &&
+		old.Vertices == prev.NumVertices() &&
+		old.Edges == prev.NumEdges()
 	for k := 0; k < snap.NumShards(); k++ {
-		seg, err := writeSegment(dir, snap, k)
+		if carry && k < len(old.Segments) && snap.SharesShard(prev, k) {
+			man.Segments = append(man.Segments, old.Segments[k])
+			stats.SegmentsCarried++
+			continue
+		}
+		seg, err := writeSegment(dir, snap, k, epochSegmentName(k, epoch))
 		if err != nil {
-			removeStaged(dir, k)
-			return err
+			return stats, err
 		}
 		man.Segments = append(man.Segments, seg)
+		stats.SegmentsWritten++
 	}
-	for k := range man.Segments {
-		if err := os.Rename(filepath.Join(dir, stagedName(k)), filepath.Join(dir, segmentFileName(k))); err != nil {
-			return fmt.Errorf("store: installing segment %d: %w", k, err)
-		}
+	if err := syncDir(dir, "segs-dir-sync"); err != nil {
+		return stats, err
 	}
 	if err := writeManifest(dir, man); err != nil {
-		return err
+		return stats, err
 	}
-	removeOrphanSegments(dir, snap.NumShards())
-	return nil
+	stats.Epoch = epoch
+	collectGarbage(dir, man)
+	return stats, nil
 }
 
-// stagedName names the temporary staging file of shard k's segment.
-func stagedName(k int) string { return segmentFileName(k) + ".tmp" }
-
-// removeStaged deletes the staging files of segments 0..upto after a failed
-// Write, leaving any pre-existing store untouched.
-func removeStaged(dir string, upto int) {
-	for k := 0; k <= upto; k++ {
-		os.Remove(filepath.Join(dir, stagedName(k)))
+// previousManifest reads the directory's current manifest for the epoch
+// counter and the carry decision. Any failure — no store there yet, or an
+// unreadable one — just means nothing can be carried: the rewrite starts
+// from epoch 1 and encodes every segment.
+func previousManifest(dir string) (Manifest, bool) {
+	man, err := readManifest(dir)
+	if err != nil {
+		return Manifest{}, false
 	}
+	return man, true
 }
 
-// removeOrphanSegments deletes segment files beyond the new shard count —
-// leftovers of a previous, larger store in the same directory that the new
-// manifest no longer references.
-func removeOrphanSegments(dir string, shards int) {
+// epochSegmentName names shard k's segment file as written by the given
+// epoch. The epoch in the name keeps concurrent generations of the same
+// shard in distinct files, so an in-place rewrite never overwrites a file
+// the live manifest still references.
+func epochSegmentName(k int, epoch uint64) string {
+	return fmt.Sprintf("shard-%05d-%08d.seg", k, epoch)
+}
+
+// collectGarbage removes store files the just-committed manifest does not
+// reference: previous-epoch versions of rewritten shards, debris from
+// crashed attempts, and any leftover manifest staging file. Only files
+// matching the segment name patterns are considered, so the WAL and foreign
+// files are never touched. Errors are ignored — garbage is harmless and the
+// next commit sweeps again.
+func collectGarbage(dir string, man Manifest) {
+	if err := fireFault("segment-gc", dir); err != nil {
+		return
+	}
+	referenced := make(map[string]bool, len(man.Segments))
+	for _, seg := range man.Segments {
+		referenced[seg.File] = true
+	}
 	matches, err := filepath.Glob(filepath.Join(dir, "shard-*.seg"))
 	if err != nil {
 		return
 	}
 	for _, path := range matches {
-		var k int
-		if _, err := fmt.Sscanf(filepath.Base(path), "shard-%05d.seg", &k); err == nil && k >= shards {
+		if !referenced[filepath.Base(path)] {
 			os.Remove(path)
 		}
 	}
+	os.Remove(filepath.Join(dir, ManifestFile+".tmp"))
 }
 
-// writeManifest writes the manifest via a temp file and rename so a store
-// directory is either complete or unopenable.
+// writeManifest stages the manifest to a temp file, fsyncs it, and renames
+// it over ManifestFile — the atomic commit point of the rewrite protocol —
+// then flushes the directory so the rename itself is durable.
 func writeManifest(dir string, man Manifest) error {
 	data, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: encoding manifest: %w", err)
 	}
 	tmp := filepath.Join(dir, ManifestFile+".tmp")
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	if err := writeFileSync(tmp, append(data, '\n'), "manifest-write", "manifest-sync"); err != nil {
 		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	if err := fireFault("manifest-rename", ManifestFile); err != nil {
+		return err
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, ManifestFile)); err != nil {
 		return fmt.Errorf("store: installing manifest: %w", err)
 	}
-	return nil
+	return syncDir(dir, "commit-dir-sync")
 }
 
-// segmentFileName names shard k's segment file.
-func segmentFileName(k int) string { return fmt.Sprintf("shard-%05d.seg", k) }
+// writeFileSync writes data to path and fsyncs it, honoring two fault
+// points: one fired before the write (aborting there leaves a torn,
+// half-written file, exactly as a crash mid-write would) and one fired
+// before the fsync (the bytes are written but possibly not durable).
+func writeFileSync(path string, data []byte, writePoint, syncPoint string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if ferr := fireFault(writePoint, filepath.Base(path)); ferr != nil {
+		f.Write(data[:len(data)/2])
+		f.Close()
+		return ferr
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if ferr := fireFault(syncPoint, filepath.Base(path)); ferr != nil {
+		f.Close()
+		return ferr
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
-// writeSegment encodes shard k of the snapshot into its staged segment file
-// and returns the manifest descriptor. The whole segment is assembled in one
-// buffer — shards bound every snapshot allocation, so the buffer is bounded
-// by the shard size, not the graph size.
-func writeSegment(dir string, snap *graph.Snapshot, k int) (Segment, error) {
+// syncDir flushes dir's directory entries so freshly created or renamed
+// files survive a crash. Filesystems that refuse to fsync a directory are
+// tolerated — the flush is best-effort everywhere it is not supported.
+func syncDir(dir, point string) error {
+	if err := fireFault(point, dir); err != nil {
+		return err
+	}
+	f, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	f.Sync()
+	return f.Close()
+}
+
+// writeSegment encodes shard k of the snapshot into the named segment file,
+// fsyncs it, and returns the manifest descriptor. The whole segment is
+// assembled in one buffer — shards bound every snapshot allocation, so the
+// buffer is bounded by the shard size, not the graph size.
+func writeSegment(dir string, snap *graph.Snapshot, k int, name string) (Segment, error) {
 	lo, hi := snap.ShardRange(k)
 	n := int(hi - lo)
 
@@ -178,11 +288,11 @@ func writeSegment(dir string, snap *graph.Snapshot, k int) (Segment, error) {
 		return Segment{}, fmt.Errorf("store: shard %d label partition covers %d of %d vertices", k, idx, n)
 	}
 
-	if err := os.WriteFile(filepath.Join(dir, stagedName(k)), buf, 0o644); err != nil {
-		return Segment{}, fmt.Errorf("store: writing segment %s: %w", segmentFileName(k), err)
+	if err := writeFileSync(filepath.Join(dir, name), buf, "segment-write", "segment-sync"); err != nil {
+		return Segment{}, fmt.Errorf("store: writing segment %s: %w", name, err)
 	}
 	return Segment{
-		File:      segmentFileName(k),
+		File:      name,
 		Vertices:  n,
 		Neighbors: m,
 		Labels:    len(labels),
