@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cliflags"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -46,7 +47,7 @@ func main() {
 		compare   = flag.String("compare", "", "compare freshly measured enumeration records against this baseline JSON and exit non-zero on sequential regression")
 		threshold = flag.Float64("threshold", bench.DefaultRegressionThreshold, "allowed fractional sequential slowdown for -compare (0.30 = 30%; 0 selects the default)")
 	)
-	fl := cliflags.Register(flag.CommandLine, cliflags.Shards, cliflags.Store)
+	fl := cliflags.Register(flag.CommandLine, cliflags.Shards, cliflags.Store, cliflags.Trace)
 	flag.Parse()
 
 	if fl.StorePath() != "" {
@@ -105,10 +106,15 @@ func main() {
 	}
 
 	cfg := bench.Config{Quick: *quick, Seed: *seed, CSV: *csv, Shards: fl.Shards()}
+	var tr *obs.Trace
+	if fl.Trace() {
+		tr = obs.NewTrace("gbench")
+	}
 	if *exp == "" {
-		if err := reg.RunAll(os.Stdout, cfg); err != nil {
+		if err := reg.RunAllTraced(os.Stdout, cfg, tr); err != nil {
 			fatal(err)
 		}
+		printTrace(tr)
 		return
 	}
 	e, err := reg.Get(*exp)
@@ -116,9 +122,23 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("### experiment %s — %s\n\n", e.ID, e.Claim)
-	if err := e.Run(os.Stdout, cfg); err != nil {
+	sp := tr.Root().Start(e.ID)
+	err = e.Run(os.Stdout, cfg)
+	sp.End()
+	if err != nil {
 		fatal(err)
 	}
+	printTrace(tr)
+}
+
+// printTrace renders the finished suite span tree to stderr; nil means
+// -trace was not given.
+func printTrace(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	tr.Finish()
+	fmt.Fprint(os.Stderr, tr.String())
 }
 
 func fatal(err error) {

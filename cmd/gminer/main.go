@@ -83,7 +83,7 @@ func main() {
 		return
 	}
 
-	resp, err := eng.Do(&support.Request{Mine: &spec})
+	resp, err := fl.Do(eng, &support.Request{Mine: &spec})
 	if err != nil {
 		fatal(err)
 	}

@@ -14,6 +14,8 @@
 //	                 # epoch handoff and folded into the segment store every
 //	                 # 8 updates; restart resumes exactly where clients left
 //	                 # off, crash included (the WAL tail is replayed)
+//	gserved -graph data.lg -slow-query 250ms -log-level debug
+//	gserved -graph data.lg -pprof-addr localhost:6060
 //
 // Endpoints (JSON bodies; see internal/server):
 //
@@ -25,12 +27,19 @@
 //	DELETE /v1/sessions/{id}         close a session
 //	GET    /v1/stats                 epoch, graph dimensions, load
 //	GET    /v1/healthz               liveness probe
+//	GET    /metrics                  Prometheus text exposition
+//
+// Logging is structured (log/slog, text format on stderr) at -log-level.
+// Requests slower than -slow-query are logged with their span tree and, for
+// evaluations, the chosen search plan. -pprof-addr serves net/http/pprof on
+// a separate listener — keep it on localhost or behind a firewall.
 //
 // Quickstart:
 //
 //	gserved -graph data.lg &
 //	curl -s localhost:8731/v1/evaluate \
 //	     -d '{"pattern":{"edge":[1,2]},"measures":["MNI"]}'
+//	curl -s localhost:8731/metrics | grep repro_engine
 package main
 
 import (
@@ -38,7 +47,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,6 +57,7 @@ import (
 
 	support "repro"
 	"repro/internal/cliflags"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -59,12 +71,20 @@ func main() {
 		sessionTTL  = flag.Duration("session-ttl", 0, "evict sessions idle for this long (0 = default, negative = never)")
 		persistDir  = flag.String("persist", "", "open (creating if needed) a durable store directory as a mutable data source: mutations are WAL-logged before each epoch and folded into the store incrementally; with -graph, an empty directory is seeded from the .lg file")
 		commitEvery = flag.Int("commit-every", 16, "fold logged mutations of the -persist store into its segments every N updates (<=0 = only on shutdown or explicit persists)")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		slowQuery   = flag.Duration("slow-query", 0, "log requests slower than this with their span tree and chosen plan (0 = disabled)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it loopback-only)")
 	)
 	fl := cliflags.Register(flag.CommandLine, cliflags.Enum, cliflags.Shards, cliflags.Store)
 	flag.Parse()
 
+	log, err := newLogger(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(log)
+
 	var eng *support.Engine
-	var err error
 	if *persistDir != "" {
 		if fl.StorePath() != "" {
 			fatal(fmt.Errorf("-persist and -store are mutually exclusive (-store serves read-only, -persist serves durable read-write)"))
@@ -91,14 +111,40 @@ func main() {
 		MaxParallelism:  *maxParallel,
 		MaxSessions:     *maxSessions,
 		SessionIdleTTL:  *sessionTTL,
+		SlowQuery:       *slowQuery,
+		Logger:          log,
 	})
 	defer srv.Close()
 
-	snap, _ := eng.Current()
-	fmt.Printf("gserved: serving %q (|V|=%d, |E|=%d, %d shards) on %s\n",
-		snap.Name(), snap.NumVertices(), snap.NumEdges(), snap.NumShards(), *addr)
+	snap, epoch := eng.Current()
+	log.Info("serving",
+		slog.String("graph", snap.Name()),
+		slog.Int("vertices", snap.NumVertices()),
+		slog.Int("edges", snap.NumEdges()),
+		slog.Int("shards", snap.NumShards()),
+		slog.Uint64("epoch", epoch),
+		slog.String("addr", *addr))
 	if depoch, pending, ok := eng.Durable(); ok {
-		fmt.Printf("gserved: durable store %s at epoch %d (%d logged mutations pending)\n", *persistDir, depoch, pending)
+		// The replay counters are process-cumulative; at startup they hold
+		// exactly what OpenDB just replayed from the WAL tail.
+		log.Info("recovered durable store",
+			slog.String("dir", *persistDir),
+			slog.Uint64("epoch", depoch),
+			slog.Int("pending_mutations", pending),
+			slog.Uint64("wal_replayed_batches", obs.Default.CounterValue("repro_wal_replayed_batches_total")),
+			slog.Uint64("wal_replayed_mutations", obs.Default.CounterValue("repro_wal_replayed_mutations_total")))
+	}
+
+	if *pprofAddr != "" {
+		// net/http/pprof registers its handlers on http.DefaultServeMux; the
+		// profiling listener is separate from the serving one so profiles are
+		// never exposed on the public address.
+		go func() {
+			log.Info("pprof listening", slog.String("addr", *pprofAddr))
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Error("pprof server failed", slog.String("error", err.Error()))
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -113,7 +159,7 @@ func main() {
 			select {
 			case <-t.C:
 				if n := srv.EvictIdleSessions(); n > 0 {
-					fmt.Printf("gserved: evicted %d idle session(s)\n", n)
+					log.Info("evicted idle sessions", slog.Int("count", n))
 				}
 			case <-janitorStop:
 				return
@@ -137,11 +183,32 @@ func main() {
 		fatal(err)
 	}
 	<-janitorDone
-	fmt.Println("gserved: shut down")
+	log.Info("shut down",
+		slog.Uint64("epoch", eng.Epoch()),
+		slog.Uint64("requests", obs.Default.CounterValue("repro_server_http_requests_total")))
 }
 
 // janitorStop ends the eviction ticker on shutdown.
 var janitorStop = make(chan struct{})
+
+// newLogger builds the process logger: slog text records on stderr at the
+// named level.
+func newLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
 
 // seedDurable populates an empty durable engine from a .lg seed graph in
 // one logged update followed by a durable commit. A store that already

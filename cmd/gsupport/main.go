@@ -79,7 +79,7 @@ func main() {
 	}
 	defer eng.Close()
 
-	resp, err := eng.Do(&support.Request{Pattern: p, Measures: names, Explain: fl.Explain()})
+	resp, err := fl.Do(eng, &support.Request{Pattern: p, Measures: names, Explain: fl.Explain()})
 	if err != nil {
 		fatal(err)
 	}

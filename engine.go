@@ -1,6 +1,7 @@
 package support
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/isomorph"
 	"repro/internal/measures"
 	"repro/internal/miner"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -216,6 +218,7 @@ func NewEngine(g *Graph, opts EngineOptions) (*Engine, error) {
 	e := &Engine{opts: opts, g: g, freezeOpts: graph.FreezeOptions{Shards: opts.Shards}}
 	snap := g.FreezeSharded(e.freezeOpts)
 	e.state.Store(&engineState{snap: snap, epoch: 1})
+	mEpoch.Set(1)
 	return e, nil
 }
 
@@ -229,6 +232,7 @@ func NewSnapshotEngine(snap *Snapshot, opts EngineOptions) (*Engine, error) {
 	}
 	e := &Engine{opts: opts}
 	e.state.Store(&engineState{snap: snap, epoch: 1})
+	mEpoch.Set(1)
 	return e, nil
 }
 
@@ -243,6 +247,7 @@ func OpenStoreEngine(dir string, opts EngineOptions) (*Engine, error) {
 	}
 	e := &Engine{opts: opts, st: st}
 	e.state.Store(&engineState{snap: st.Snapshot(), epoch: 1})
+	mEpoch.Set(1)
 	return e, nil
 }
 
@@ -331,6 +336,8 @@ func (e *Engine) Update(mutate func(g *Graph) error) (uint64, error) {
 	snap := e.g.FreezeSharded(e.freezeOpts) //gvet:ignore lockscope deliberate epoch handoff: readers pin snapshots with an atomic load and never take e.mu, so the refreeze only serializes writers
 	next := &engineState{snap: snap, epoch: e.state.Load().epoch + 1}
 	e.state.Store(next)
+	mUpdates.Inc()
+	mEpoch.Set(int64(next.epoch))
 	if e.db != nil && e.commitEvery > 0 {
 		e.sinceCommit++
 		if e.sinceCommit >= e.commitEvery {
@@ -353,10 +360,24 @@ func (e *Engine) Update(mutate func(g *Graph) error) (uint64, error) {
 // any number of concurrent callers and never blocks on writers: the
 // (snapshot, epoch) pair is pinned with one atomic load and the request runs
 // to completion on it, even if an Update hands off a new epoch mid-flight.
+// It is DoContext with a background context: no trace is attached.
 func (e *Engine) Do(req *Request) (*Response, error) {
+	return e.DoContext(context.Background(), req)
+}
+
+// DoContext is Do with a context. The context carries observability only —
+// when an obs.Trace is attached (obs.ContextWithTrace), the request's phases
+// are recorded as child spans of the trace root (plan, enumerate, aggregate,
+// mine) and the root is annotated with the answering epoch. Cancellation is
+// not consulted: requests run on an immutable snapshot and always complete.
+// The Response is a pure function of (request, pinned snapshot); nothing
+// timing-dependent ever enters it.
+func (e *Engine) DoContext(ctx context.Context, req *Request) (*Response, error) {
 	if req == nil {
 		return nil, fmt.Errorf("support: nil request")
 	}
+	mRequests.Inc()
+	root := obs.FromContext(ctx).Root()
 	opts := e.opts
 	if req.Options != nil {
 		opts = *req.Options
@@ -375,6 +396,7 @@ func (e *Engine) Do(req *Request) (*Response, error) {
 		epoch = e.state.Load().epoch
 		e.mu.RUnlock()
 	}
+	root.SetAttrInt("epoch", int64(epoch))
 
 	if req.Mine != nil && (req.Pattern != nil || len(req.Measures) > 0) {
 		return nil, fmt.Errorf("support: a request either mines (Mine) or evaluates a pattern (Pattern/Measures), not both")
@@ -384,37 +406,57 @@ func (e *Engine) Do(req *Request) (*Response, error) {
 		if req.Pattern == nil {
 			return nil, fmt.Errorf("support: Explain requires a Pattern")
 		}
+		sp := root.Start("plan")
+		t := obs.StartTimer()
 		resp.Plan = isomorph.Explain(snap, req.Pattern, isomorph.Options{
 			Parallelism:    opts.Parallelism,
 			DisablePlanner: opts.DisablePlanner,
 			DisableKernels: opts.DisableKernels,
 		})
+		t.ObserveInto(mPlanSeconds)
+		sp.End()
+		mExplains.Inc()
 	}
 
 	switch {
 	case req.Mine != nil:
+		sp := root.Start("mine")
+		t := obs.StartTimer()
 		m, err := miner.NewSnapshot(snap, req.Mine.minerConfig(opts))
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		res, err := m.Mine()
+		t.ObserveInto(mMineSeconds)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
+		mMines.Inc()
 		resp.Mining = res
 		return resp, nil
 
 	case req.Pattern != nil:
+		sp := root.Start("enumerate")
+		t := obs.StartTimer()
 		copts := opts.contextOptions()
 		copts.Snapshot = snap
-		ctx, err := core.NewContext(e.g, req.Pattern, copts)
+		ectx, err := core.NewContext(e.g, req.Pattern, copts)
+		t.ObserveInto(mEnumerateSeconds)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
-		ev, err := evaluateNamed(ctx, req.Measures)
+		sp = root.Start("aggregate")
+		t = obs.StartTimer()
+		ev, err := evaluateNamed(ectx, req.Measures)
+		t.ObserveInto(mAggregateSeconds)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
+		mEvaluations.Inc()
 		resp.Evaluation = ev
 		return resp, nil
 
@@ -458,6 +500,7 @@ func (e *Engine) OpenSession(spec MineSpec) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	mSessionOpens.Inc()
 	return &Session{e: e, inc: inc}, nil
 }
 
@@ -476,7 +519,9 @@ type Session struct {
 func (s *Session) Refresh() (*MinerResult, uint64, error) {
 	s.e.mu.RLock()
 	defer s.e.mu.RUnlock()
+	t := obs.StartTimer()
 	res, err := s.inc.Refresh()
+	t.ObserveInto(mSessionRefreshSeconds)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -87,12 +87,25 @@ func runWantTest(t *testing.T, pkgName string, a *Analyzer) {
 	}
 }
 
-func TestSnapshotMut(t *testing.T)          { runWantTest(t, "snapmut", SnapshotMut) }
-func TestLockScope(t *testing.T)            { runWantTest(t, "lockscope", LockScope) }
-func TestPairing(t *testing.T)              { runWantTest(t, "pairing", Pairing) }
-func TestHotAlloc(t *testing.T)             { runWantTest(t, "hotalloc", HotAlloc) }
-func TestDeterminismMapOrder(t *testing.T)  { runWantTest(t, "determin", Determinism) }
-func TestDeterminismServerPkg(t *testing.T) { runWantTest(t, "server", Determinism) }
+func TestSnapshotMut(t *testing.T)           { runWantTest(t, "snapmut", SnapshotMut) }
+func TestLockScope(t *testing.T)             { runWantTest(t, "lockscope", LockScope) }
+func TestPairing(t *testing.T)               { runWantTest(t, "pairing", Pairing) }
+func TestHotAlloc(t *testing.T)              { runWantTest(t, "hotalloc", HotAlloc) }
+func TestDeterminismMapOrder(t *testing.T)   { runWantTest(t, "determin", Determinism) }
+func TestDeterminismServerPkg(t *testing.T)  { runWantTest(t, "server", Determinism) }
+func TestDeterminismSupportPkg(t *testing.T) { runWantTest(t, "support", Determinism) }
+
+// TestDeterminismObsExempt pins the clock exemption of package obs: it is
+// the module's sanctioned home for wall-clock reads (its timers feed
+// /metrics, logs and traces — never response bodies), so the determinism
+// pass must stay silent on time.Now/Since/Until there.
+func TestDeterminismObsExempt(t *testing.T) {
+	pkg := loadTestPkg(t, "obs")
+	diags := Check(pkg, []*Analyzer{Determinism})
+	for _, d := range diags {
+		t.Errorf("determinism flagged the sanctioned obs package: %s", d)
+	}
+}
 
 // TestIgnoreDirectives pins the directive semantics end to end with exact
 // rendered findings: a reasoned directive suppresses its line (and the

@@ -10,7 +10,7 @@ import (
 // map-range loops that accumulate into an order-carrying slice without a
 // subsequent sort of that slice in the same function (Go randomizes map
 // iteration, so the emitted order would differ run to run), and — inside
-// the server package, whose functions build responses — references to
+// the response-building packages listed in clockCheckedPkgs — references to
 // wall-clock time (time.Now/Since/Until) and math/rand.
 var Determinism = &Analyzer{
 	Name: "determinism",
@@ -18,6 +18,17 @@ var Determinism = &Analyzer{
 		"time.Now/math-rand use in server response building; responses must be byte-identical per epoch",
 	Run: runDeterminism,
 }
+
+// clockCheckedPkgs names the packages whose functions are within reach of
+// wire-response building, where a wall-clock or math/rand reference is a
+// determinism finding: "server" (the HTTP surface encodes Response values
+// into bodies) and "support" (the root package builds those Response
+// values). Package obs is deliberately absent — it is the module's one
+// sanctioned home for wall-clock reads (obs.StartTimer and friends), and
+// everything it measures flows to /metrics, logs and traces, never into a
+// response body. Code in a checked package reads the clock through obs, or
+// carries a reasoned //gvet:ignore where a raw clock is injected.
+var clockCheckedPkgs = map[string]bool{"server": true, "support": true}
 
 // sortCalleeNames are the sorting calls that restore a deterministic order
 // to a slice accumulated from a map range.
@@ -32,12 +43,12 @@ var sortCalleeNames = map[string]map[string]bool{
 }
 
 func runDeterminism(pass *Pass) {
-	serverPkg := pass.Pkg.Types != nil && pass.Pkg.Types.Name() == "server"
+	clockChecked := pass.Pkg.Types != nil && clockCheckedPkgs[pass.Pkg.Types.Name()]
 	for _, f := range pass.Pkg.Files {
 		enclosingFuncs(f, func(fn *ast.FuncDecl) {
 			checkMapRangeOrder(pass, fn)
 		})
-		if serverPkg {
+		if clockChecked {
 			checkClockAndRand(pass, f)
 		}
 	}
@@ -113,10 +124,12 @@ func sortedSinks(pass *Pass, fn *ast.FuncDecl) map[string]bool {
 	return sinks
 }
 
-// checkClockAndRand flags wall-clock and math/rand references in the
-// server package, where every function is within reach of response
-// building.
+// checkClockAndRand flags wall-clock and math/rand references in a
+// clock-checked package, where every function is within reach of response
+// building. The sanctioned alternative is internal/obs: its timers read the
+// clock on the observability side of the wire-determinism boundary.
 func checkClockAndRand(pass *Pass, f *ast.File) {
+	pkgName := pass.Pkg.Types.Name()
 	ast.Inspect(f, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {
@@ -130,10 +143,10 @@ func checkClockAndRand(pass *Pass, f *ast.File) {
 		case "time":
 			switch sel.Sel.Name {
 			case "Now", "Since", "Until":
-				pass.Reportf(sel.Pos(), "time.%s in the server package; responses must be byte-identical per epoch, so inject a clock and keep it out of response bodies", sel.Sel.Name)
+				pass.Reportf(sel.Pos(), "time.%s in the %s package; responses must be byte-identical per epoch, so measure through internal/obs (or inject a clock) and keep timings out of response bodies", sel.Sel.Name, pkgName)
 			}
 		case "math/rand", "math/rand/v2":
-			pass.Reportf(sel.Pos(), "math/rand in the server package; responses must be byte-identical per epoch, use a seeded source outside response building")
+			pass.Reportf(sel.Pos(), "math/rand in the %s package; responses must be byte-identical per epoch, use a seeded source outside response building", pkgName)
 		}
 		return true
 	})

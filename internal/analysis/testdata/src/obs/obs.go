@@ -1,0 +1,15 @@
+// Package obs mirrors the shape of the real internal/obs: the module's one
+// sanctioned home for wall-clock reads. The determinism pass must report
+// nothing here — TestDeterminismObsExempt pins that exemption, so adding
+// "obs" to clockCheckedPkgs is a deliberate, test-breaking decision.
+package obs
+
+import "time"
+
+type timer struct{ start time.Time }
+
+func startTimer() timer { return timer{start: time.Now()} }
+
+func (t timer) elapsed() time.Duration { return time.Since(t.start) }
+
+func (t timer) deadline(d time.Duration) time.Duration { return time.Until(t.start.Add(d)) }

@@ -1,0 +1,33 @@
+// Package support seeds the determinism pass's root-package clock rules:
+// the engine builds Response values here, so raw wall-clock and math/rand
+// references are findings — timing belongs in internal/obs, on the
+// observability side of the wire-determinism boundary.
+package support
+
+import (
+	"math/rand"
+	"time"
+)
+
+type response struct {
+	epoch   uint64
+	elapsed time.Duration
+}
+
+func answer(epoch uint64, start time.Time) *response {
+	return &response{epoch: epoch, elapsed: time.Since(start)} // want "time.Since in the support package"
+}
+
+func stamp(r *response) {
+	_ = time.Now().UnixNano() // want "time.Now in the support package"
+	r.epoch++
+}
+
+func sample(n int) int {
+	return rand.Intn(n) // want "math/rand in the support package"
+}
+
+// warm passes: the suppression names the pass and carries a reason.
+func warm() time.Time {
+	return time.Now() //gvet:ignore determinism injected benchmark clock, never serialized into responses
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Config controls how experiments are run.
@@ -72,12 +74,23 @@ func (r *Registry) IDs() []string {
 
 // RunAll executes every experiment in ID order.
 func (r *Registry) RunAll(w io.Writer, cfg Config) error {
+	return r.RunAllTraced(w, cfg, nil)
+}
+
+// RunAllTraced is RunAll with one span per experiment recorded under the
+// trace's root, so gbench -trace reports where suite wall-clock went. A nil
+// trace records nothing (spans are nil-safe) and behaves exactly like
+// RunAll.
+func (r *Registry) RunAllTraced(w io.Writer, cfg Config, tr *obs.Trace) error {
 	for _, id := range r.IDs() {
 		e := r.byID[id]
 		if _, err := fmt.Fprintf(w, "### experiment %s — %s\n\n", e.ID, e.Claim); err != nil {
 			return err
 		}
-		if err := e.Run(w, cfg); err != nil {
+		sp := tr.Root().Start(e.ID)
+		err := e.Run(w, cfg)
+		sp.End()
+		if err != nil {
 			return fmt.Errorf("bench: experiment %s: %w", e.ID, err)
 		}
 	}

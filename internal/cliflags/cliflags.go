@@ -10,9 +10,13 @@
 package cliflags
 
 import (
+	"context"
 	"flag"
+	"fmt"
+	"os"
 
 	support "repro"
+	"repro/internal/obs"
 )
 
 // Group selects one family of shared flags for Register.
@@ -29,6 +33,8 @@ const (
 	Store
 	// Explain installs -explain, the search-plan printing switch.
 	Explain
+	// Trace installs -trace, the per-request span-tree printing switch.
+	Trace
 )
 
 // Flags holds the parsed values of the shared flags a tool registered.
@@ -43,13 +49,14 @@ type Flags struct {
 	store     *string
 	residency *string
 	explain   *bool
+	trace     *bool
 }
 
 // Register installs the requested flag families on fs (every family when
 // none are named) and returns the holder to read after fs.Parse.
 func Register(fs *flag.FlagSet, groups ...Group) *Flags {
 	if len(groups) == 0 {
-		groups = []Group{Enum, Shards, Store, Explain}
+		groups = []Group{Enum, Shards, Store, Explain, Trace}
 	}
 	f := &Flags{}
 	for _, g := range groups {
@@ -66,6 +73,8 @@ func Register(fs *flag.FlagSet, groups ...Group) *Flags {
 			f.residency = fs.String("residency", "", "residency byte budget for -store paging: bytes, binary sizes (64MiB) or a percentage of the store (25%); empty = unlimited")
 		case Explain:
 			f.explain = fs.Bool("explain", false, "print the enumeration engine's search plan (order, per-depth candidate estimates, kernels)")
+		case Trace:
+			f.trace = fs.Bool("trace", false, "print the per-request span tree (phase timings) to stderr after each request")
 		}
 	}
 	return f
@@ -143,6 +152,29 @@ func (f *Flags) Explain() bool {
 		return false
 	}
 	return *f.explain
+}
+
+// Trace returns the -trace value (false when unregistered).
+func (f *Flags) Trace() bool {
+	if f.trace == nil {
+		return false
+	}
+	return *f.trace
+}
+
+// Do runs one engine request, honoring -trace: with it set, an obs.Trace is
+// attached to the request context and the finished span tree — per-phase
+// timings of plan, enumerate, aggregate or mine — is printed to stderr. This
+// is the one request path the g* CLIs share.
+func (f *Flags) Do(eng *support.Engine, req *support.Request) (*support.Response, error) {
+	if !f.Trace() {
+		return eng.Do(req)
+	}
+	tr := obs.NewTrace("request")
+	resp, err := eng.DoContext(obs.ContextWithTrace(context.Background(), tr), req)
+	tr.Finish()
+	fmt.Fprint(os.Stderr, tr.String())
+	return resp, err
 }
 
 // Engine opens the engine for the tool's resolved data source: the mmapped

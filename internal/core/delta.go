@@ -122,6 +122,7 @@ func (d *DeltaContext) Close() { d.feed.Close() }
 func (d *DeltaContext) Refresh() error {
 	muts := d.feed.Drain()
 	d.stats.Refreshes++
+	mDeltaRefreshes.Inc()
 	if len(muts) == 0 {
 		return nil
 	}
@@ -160,11 +161,14 @@ func (d *DeltaContext) Refresh() error {
 		// tables from scratch; answers stay exact either way.
 		d.rebuild(newSnap)
 		d.stats.FullRebuilds++
+		mDeltaFull.Inc()
 		d.snap = newSnap
 		return nil
 	}
 	d.stats.DeltaRefreshes++
 	d.stats.LastBallVertices = len(ballNew) + len(ballOld)
+	mDeltaApplied.Inc()
+	mDeltaBall.Observe(float64(d.stats.LastBallVertices))
 
 	// Plus-pass: occurrences in the new graph rooted inside the new ball and
 	// touching a dirty vertex. This covers every occurrence the batch added

@@ -1,0 +1,18 @@
+package core
+
+import "repro/internal/obs"
+
+// Delta-maintenance metrics: the process-wide view of what the per-context
+// DeltaStats structs count individually. The delta-vs-full split is the
+// staleness/refresh-cost accounting a standing-query deployment watches, and
+// the ball-size histogram shows how local the update stream actually is.
+var (
+	mDeltaRefreshes = obs.NewCounter("repro_delta_refreshes_total",
+		"DeltaContext refreshes, including no-op ones")
+	mDeltaApplied = obs.NewCounter("repro_delta_delta_refreshes_total",
+		"refreshes applied as ball-restricted plus/minus delta passes")
+	mDeltaFull = obs.NewCounter("repro_delta_full_rebuilds_total",
+		"refreshes that fell back to a from-scratch re-enumeration")
+	mDeltaBall = obs.NewHistogram("repro_delta_ball_vertices",
+		"combined plus+minus mutation-ball size per delta refresh, in vertices", obs.SizeBuckets)
+)

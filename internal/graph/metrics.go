@@ -1,0 +1,10 @@
+package graph
+
+import "repro/internal/obs"
+
+// mMutations counts every mutation applied to any mutable graph in the
+// process. notifyFeeds is the single point all four mutation kinds funnel
+// through after the graph state is updated, so one hook there covers
+// AddVertex, AddEdge, RemoveEdge and RemoveVertex alike.
+var mMutations = obs.NewCounter("repro_graph_mutations_total",
+	"mutations applied to mutable graphs, across all kinds")

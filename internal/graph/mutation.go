@@ -120,6 +120,7 @@ func (g *Graph) OpenFeeds() int {
 // notifyFeeds appends a mutation to every open feed. It is called from the
 // mutation methods after the graph state has been updated.
 func (g *Graph) notifyFeeds(m Mutation) {
+	mMutations.Inc()
 	g.feedMu.Lock()
 	feeds := g.feeds
 	g.feedMu.Unlock()

@@ -546,13 +546,17 @@ func EnumerateSnapshotWorkers(snap *graph.Snapshot, p *pattern.Pattern, opts Opt
 		st := newSearchState(pl, yield, nil)
 		for s, roots := range pl.rootsByShard {
 			snap.AcquireShard(pl.shardIDs[s])
-			for _, r := range roots {
+			for j, r := range roots {
 				if st.searchRoot(r) {
 					snap.ReleaseShard(pl.shardIDs[s])
+					mShardDrains.Inc()
+					mRoots.Add(uint64(j + 1))
 					return
 				}
 			}
 			snap.ReleaseShard(pl.shardIDs[s])
+			mShardDrains.Inc()
+			mRoots.Add(uint64(len(roots)))
 		}
 		return
 	}
@@ -599,6 +603,7 @@ func EnumerateSnapshotWorkers(snap *graph.Snapshot, p *pattern.Pattern, opts Opt
 				if atomic.LoadInt64(&cursors[s]) >= int64(len(roots)) {
 					continue // already drained; skip the residency churn
 				}
+				var searched uint64
 				halt := func() bool {
 					snap.AcquireShard(pl.shardIDs[s])
 					defer snap.ReleaseShard(pl.shardIDs[s])
@@ -610,12 +615,15 @@ func EnumerateSnapshotWorkers(snap *graph.Snapshot, p *pattern.Pattern, opts Opt
 						if stop.Load() {
 							return true
 						}
+						searched++
 						if st.searchRoot(roots[i]) {
 							stop.Store(true)
 							return true
 						}
 					}
 				}()
+				mShardDrains.Inc()
+				mRoots.Add(searched)
 				if halt {
 					return
 				}

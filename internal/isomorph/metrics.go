@@ -1,0 +1,15 @@
+package isomorph
+
+import "repro/internal/obs"
+
+// Enumeration metrics, sampled at shard-drain granularity: the drain loops
+// accumulate into goroutine-local counters and publish one atomic add per
+// drained shard, so the //gvet:hotpath search functions stay untouched and
+// allocation-free. Roots are counted as searched, which includes the partial
+// drain of a shard cut short by an occurrence cap or a halt.
+var (
+	mShardDrains = obs.NewCounter("repro_enum_shard_drains_total",
+		"shard drain passes executed by enumeration workers")
+	mRoots = obs.NewCounter("repro_enum_roots_total",
+		"root candidates searched across all enumerations")
+)

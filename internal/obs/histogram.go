@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram: cumulative-on-exposition counts
+// over a sorted set of upper bounds (the Prometheus "le" semantics), plus a
+// running sum and total count. Observe is two atomic adds, a binary search
+// over a handful of bounds, and a CAS loop for the float sum — no
+// allocation, safe from any goroutine.
+type Histogram struct {
+	name, help string
+	// bounds are the ascending inclusive upper bounds; the +Inf bucket is
+	// implicit as counts[len(bounds)].
+	bounds []float64
+	// counts are per-bucket (not cumulative) observation counts; exposition
+	// accumulates them into the cumulative form the text format wants.
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram registers a histogram with the given upper bounds (which must
+// be ascending and non-empty) in the registry and returns it.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 || !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be non-empty and ascending: " + name)
+	}
+	h := &Histogram{
+		name:   name,
+		help:   help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.register(h)
+	return h
+}
+
+// NewHistogram registers a histogram in the Default registry.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	return Default.NewHistogram(name, help, bounds)
+}
+
+// Observe records one value; a no-op while metrics are disabled.
+func (h *Histogram) Observe(v float64) {
+	if disabled.Load() {
+		return
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds, the unit every *_seconds
+// histogram in the catalogue uses.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) metricName() string { return h.name }
+func (h *Histogram) metricHelp() string { return h.help }
+func (h *Histogram) metricType() string { return "histogram" }
+
+// LatencyBuckets is the shared bound set of the *_seconds latency
+// histograms: 1µs to 10s in a 1-2.5-5 decade ladder, wide enough for a WAL
+// fsync and a full mining run alike.
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets is the shared bound set for count-shaped distributions
+// (mutation-ball vertices, batch sizes): powers of four from 1 to ~1M.
+var SizeBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+
+// Timer measures one elapsed interval for histograms and traces. It is the
+// module's sanctioned wall-clock read: code outside obs never calls
+// time.Now directly — it starts a Timer and observes it, so timing flows
+// into metrics and logs but can never leak into wire-response bodies.
+type Timer struct {
+	start time.Time
+}
+
+// StartTimer starts a timer.
+func StartTimer() Timer { return Timer{start: time.Now()} }
+
+// Elapsed returns the time since the timer started.
+func (t Timer) Elapsed() time.Duration { return time.Since(t.start) }
+
+// ObserveInto records the elapsed seconds into h (nil-safe) and returns the
+// elapsed duration.
+func (t Timer) ObserveInto(h *Histogram) time.Duration {
+	d := time.Since(t.start)
+	if h != nil {
+		h.ObserveDuration(d)
+	}
+	return d
+}

@@ -1,0 +1,234 @@
+// Package obs is the engine stack's observability subsystem: a stdlib-only
+// metrics registry (allocation-free atomic counters, gauges and fixed-bucket
+// histograms with a Prometheus text-exposition writer) plus lightweight
+// request tracing (span trees attached to a context).
+//
+// Design rules the rest of the module leans on:
+//
+//   - Updates are single atomic operations and never allocate, so metrics
+//     may be touched from concurrency-hot code (sampled at shard-drain
+//     granularity on the enumeration path, so //gvet:hotpath functions stay
+//     allocation-free).
+//   - Metrics are registered once, at package init, into the process-global
+//     Default registry; the exposition order is sorted by name, so the
+//     /metrics body is stable run to run.
+//   - This package is the sanctioned home for wall-clock reads: timing
+//     enters the system only through StartTimer and spans, lives only in
+//     metrics, logs and traces, and never crosses into wire-response bodies
+//     (the gvet determinism pass enforces the boundary).
+//
+// SetEnabled(false) turns every update into a no-op; it exists so tests can
+// prove that responses are byte-identical with metrics on and off.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// disabled gates every metric update; the zero value means enabled, so
+// metrics are on by default and SetEnabled stores the negation.
+var disabled atomic.Bool
+
+// SetEnabled turns metric updates on or off process-wide. Disabling does not
+// reset accumulated values; it only stops further accumulation. Registration
+// and exposition are unaffected.
+func SetEnabled(on bool) { disabled.Store(!on) }
+
+// Enabled reports whether metric updates are currently accumulating.
+func Enabled() bool { return !disabled.Load() }
+
+// metric is the private interface every registered instrument implements;
+// exposition walks it.
+type metric interface {
+	// metricName returns the registered Prometheus metric name.
+	metricName() string
+	// metricHelp returns the one-line help string.
+	metricHelp() string
+	// metricType returns the Prometheus type keyword ("counter", "gauge",
+	// "histogram").
+	metricType() string
+}
+
+// Registry holds a set of uniquely named metrics in sorted name order. The
+// process-global Default registry is the one every instrumented layer
+// registers into; fresh registries exist for tests.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]metric
+	ordered []metric // sorted by name; insertion keeps order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]metric)}
+}
+
+// Default is the process-global registry all package-level instrumentation
+// registers into and that gserved's /metrics endpoint exposes.
+var Default = NewRegistry()
+
+// register adds m under its name, keeping the ordered slice sorted. A
+// duplicate or invalid name panics: registration happens at package init,
+// where a collision is a programming error worth failing loudly on.
+func (r *Registry) register(m metric) {
+	name := m.metricName()
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.byName[name] = m
+	i := sort.Search(len(r.ordered), func(i int) bool { return r.ordered[i].metricName() >= name })
+	r.ordered = append(r.ordered, nil)
+	copy(r.ordered[i+1:], r.ordered[i:])
+	r.ordered[i] = m
+}
+
+// snapshot returns the registered metrics in name order.
+func (r *Registry) snapshot() []metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]metric, len(r.ordered))
+	copy(out, r.ordered)
+	return out
+}
+
+// validMetricName checks the Prometheus metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Counter is a monotonically increasing uint64 metric. Updates are one
+// atomic add and never allocate.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// NewCounter registers a counter in the registry and returns it.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(c)
+	return c
+}
+
+// NewCounter registers a counter in the Default registry.
+func NewCounter(name, help string) *Counter { return Default.NewCounter(name, help) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n to the counter; a no-op while metrics are disabled.
+func (c *Counter) Add(n uint64) {
+	if disabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the accumulated count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) metricName() string { return c.name }
+func (c *Counter) metricHelp() string { return c.help }
+func (c *Counter) metricType() string { return "counter" }
+
+// Gauge is a signed instantaneous value. Set installs an absolute value;
+// Add applies a delta, which is the right shape when several owners (say,
+// the residency managers of independently opened stores) contribute to one
+// process-wide figure.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// NewGauge registers a gauge in the registry and returns it.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(g)
+	return g
+}
+
+// NewGauge registers a gauge in the Default registry.
+func NewGauge(name, help string) *Gauge { return Default.NewGauge(name, help) }
+
+// Set installs an absolute value; a no-op while metrics are disabled.
+func (g *Gauge) Set(v int64) {
+	if disabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add applies a signed delta; a no-op while metrics are disabled.
+func (g *Gauge) Add(d int64) {
+	if disabled.Load() {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) metricName() string { return g.name }
+func (g *Gauge) metricHelp() string { return g.help }
+func (g *Gauge) metricType() string { return "gauge" }
+
+// Counter returns the registered counter of that name, or nil when the name
+// is unknown or names a different metric kind. It is how read-side surfaces
+// (the daemon's /v1/stats) source cumulative figures from the registry
+// without reaching into the instrumented packages.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, _ := r.byName[name].(*Counter)
+	return c
+}
+
+// Gauge returns the registered gauge of that name, or nil (see Counter).
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, _ := r.byName[name].(*Gauge)
+	return g
+}
+
+// Histogram returns the registered histogram of that name, or nil (see
+// Counter).
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, _ := r.byName[name].(*Histogram)
+	return h
+}
+
+// CounterValue returns the value of the named counter, zero when absent —
+// the one-line read path for surfaces that report cumulative counts.
+func (r *Registry) CounterValue(name string) uint64 {
+	if c := r.Counter(name); c != nil {
+		return c.Value()
+	}
+	return 0
+}

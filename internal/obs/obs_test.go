@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exposition format byte for byte: metric
+// ordering (sorted by name regardless of registration order), HELP/TYPE
+// lines, histogram bucket accumulation and float rendering. The golden file
+// is the contract scrape consumers (and the CI artifact) rely on.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	// Registered deliberately out of name order: exposition must sort.
+	g := r.NewGauge("test_resident_bytes", "bytes accounted resident")
+	c := r.NewCounter("test_page_ins_total", "cold shard acquisitions")
+	h := r.NewHistogram("test_fsync_seconds", "fsync latency", []float64{0.001, 0.01, 0.1})
+
+	c.Add(41)
+	c.Inc()
+	g.Set(1 << 20)
+	g.Add(-512)
+	h.Observe(0.0005)
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(3) // lands in +Inf
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	golden, err := os.ReadFile("testdata/golden.prom")
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	if b.String() != string(golden) {
+		t.Errorf("exposition drifted from testdata/golden.prom:\n--- got ---\n%s--- want ---\n%s", b.String(), golden)
+	}
+}
+
+// TestPrometheusStableAcrossScrapes asserts the idle-process property the
+// writer documents: two scrapes with no updates in between are identical.
+func TestPrometheusStableAcrossScrapes(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("test_b_total", "b").Add(7)
+	r.NewCounter("test_a_total", "a").Add(3)
+	r.NewHistogram("test_c_seconds", "c", LatencyBuckets).Observe(0.002)
+	var s1, s2 strings.Builder
+	if err := WritePrometheus(&s1, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&s2, r); err != nil {
+		t.Fatal(err)
+	}
+	if s1.String() != s2.String() {
+		t.Errorf("two idle scrapes differ:\n%s\nvs\n%s", s1.String(), s2.String())
+	}
+}
+
+// TestConcurrentUpdates hammers one counter, gauge and histogram from many
+// goroutines under -race and checks the totals are exact: updates are atomic,
+// never lost, never torn.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_hammer_total", "hammered counter")
+	g := r.NewGauge("test_hammer_gauge", "hammered gauge")
+	h := r.NewHistogram("test_hammer_seconds", "hammered histogram", []float64{1, 2, 4})
+
+	const workers = 16
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add(2)
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i % 5)) // buckets 1, 2, 4 and +Inf all hit
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got, want := c.Value(), uint64(workers*perWorker*2); got != want {
+		t.Errorf("counter lost updates: got %d, want %d", got, want)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge drifted: got %d, want 0", got)
+	}
+	if got, want := h.Count(), uint64(workers*perWorker); got != want {
+		t.Errorf("histogram lost observations: got %d, want %d", got, want)
+	}
+	// Each worker observes 0,1,2,3,4 cyclically: sum per 5 observations is 10.
+	if got, want := h.Sum(), float64(workers*perWorker/5*10); got != want {
+		t.Errorf("histogram sum torn: got %v, want %v", got, want)
+	}
+}
+
+// TestSetEnabled proves the global gate: disabled updates accumulate
+// nothing, re-enabled updates resume on the prior values.
+func TestSetEnabled(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_gate_total", "gated counter")
+	h := r.NewHistogram("test_gate_seconds", "gated histogram", []float64{1})
+	c.Add(5)
+	SetEnabled(false)
+	c.Add(100)
+	h.Observe(0.5)
+	SetEnabled(true)
+	c.Inc()
+	if got := c.Value(); got != 6 {
+		t.Errorf("counter after gate cycle: got %d, want 6", got)
+	}
+	if got := h.Count(); got != 0 {
+		t.Errorf("histogram observed while disabled: count %d", got)
+	}
+	if !Enabled() {
+		t.Error("Enabled() false after SetEnabled(true)")
+	}
+}
+
+// TestRegistryLookups covers the read-side accessors /v1/stats uses.
+func TestRegistryLookups(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_lookup_total", "lookup")
+	c.Add(9)
+	if got := r.CounterValue("test_lookup_total"); got != 9 {
+		t.Errorf("CounterValue: got %d, want 9", got)
+	}
+	if got := r.CounterValue("test_absent_total"); got != 0 {
+		t.Errorf("CounterValue(absent): got %d, want 0", got)
+	}
+	if r.Counter("test_lookup_total") != c {
+		t.Error("Counter lookup did not return the registered instance")
+	}
+	if r.Gauge("test_lookup_total") != nil {
+		t.Error("Gauge lookup returned a counter")
+	}
+}
+
+// TestRegisterPanics pins the init-time failure modes: duplicate and invalid
+// names.
+func TestRegisterPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("test_dup_total", "first")
+	for _, tc := range []struct {
+		name   string
+		metric string
+	}{
+		{"duplicate", "test_dup_total"},
+		{"empty", ""},
+		{"leading digit", "9bad"},
+		{"bad rune", "bad-name"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: registration did not panic", tc.name)
+				}
+			}()
+			r.NewCounter(tc.metric, "dup")
+		}()
+	}
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders every metric of the registry in the Prometheus
+// text exposition format (version 0.0.4): a # HELP and # TYPE line per
+// metric followed by its samples, metrics in sorted name order, histograms
+// expanded into cumulative _bucket{le="..."} samples plus _sum and _count.
+// The output is a pure function of the metric values, so repeated scrapes of
+// an idle process are byte-identical.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.snapshot() {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", m.metricName(), m.metricHelp(), m.metricName(), m.metricType())
+		switch v := m.(type) {
+		case *Counter:
+			fmt.Fprintf(bw, "%s %d\n", v.name, v.Value())
+		case *Gauge:
+			fmt.Fprintf(bw, "%s %d\n", v.name, v.Value())
+		case *Histogram:
+			var cum uint64
+			for i, b := range v.bounds {
+				cum += v.counts[i].Load()
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", v.name, formatFloat(b), cum)
+			}
+			cum += v.counts[len(v.bounds)].Load()
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", v.name, cum)
+			fmt.Fprintf(bw, "%s_sum %s\n", v.name, formatFloat(v.Sum()))
+			fmt.Fprintf(bw, "%s_count %d\n", v.name, v.Count())
+		}
+	}
+	return bw.Flush()
+}
+
+// formatFloat renders a float the way Prometheus clients expect: shortest
+// representation that round-trips.
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

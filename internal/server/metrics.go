@@ -1,0 +1,24 @@
+package server
+
+import "repro/internal/obs"
+
+// Serving-layer metrics: HTTP request accounting, mining admission, and the
+// session lifecycle. Everything timing-shaped lives here or in /metrics —
+// never in a /v1/* response body, which stays a pure function of
+// (request, epoch).
+var (
+	mHTTPRequests = obs.NewCounter("repro_server_http_requests_total",
+		"HTTP requests served on the /v1 surface")
+	mHTTPErrors = obs.NewCounter("repro_server_http_errors_total",
+		"HTTP requests answered with a 4xx/5xx status")
+	mRequestSeconds = obs.NewHistogram("repro_server_request_seconds",
+		"end-to-end handler latency of /v1 requests", obs.LatencyBuckets)
+	mAdmissionWait = obs.NewHistogram("repro_server_admission_wait_seconds",
+		"time mining jobs waited on the admission semaphore", obs.LatencyBuckets)
+	mSlowQueries = obs.NewCounter("repro_server_slow_queries_total",
+		"requests that exceeded the slow-query threshold and were logged")
+	mSessionsLive = obs.NewGauge("repro_server_sessions",
+		"live warm mining sessions under server management")
+	mSessionsEvicted = obs.NewCounter("repro_server_sessions_evicted_total",
+		"sessions evicted by the idle-TTL janitor")
+)

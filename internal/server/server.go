@@ -1,14 +1,17 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync/atomic"
 	"time"
 
 	support "repro"
+	"repro/internal/obs"
 )
 
 // Config bounds what the serving layer admits. The zero value picks the
@@ -29,6 +32,14 @@ type Config struct {
 	// SessionIdleTTL evicts sessions unused for this long. Zero means
 	// DefaultSessionIdleTTL, negative disables eviction.
 	SessionIdleTTL time.Duration
+	// SlowQuery is the slow-query threshold: a /v1 request whose handler
+	// takes at least this long is logged (with its span tree, and for
+	// evaluations the chosen search plan) through Logger. Zero disables
+	// slow-query logging.
+	SlowQuery time.Duration
+	// Logger receives the server's structured records — above all the
+	// slow-query log. Nil means slog.Default().
+	Logger *slog.Logger
 }
 
 // The admission defaults applied for zero Config fields.
@@ -64,14 +75,15 @@ func (c Config) withDefaults() Config {
 // implement the same methods from generated stubs.
 type EngineAPI interface {
 	// Evaluate computes support measures for one pattern on the current
-	// epoch.
-	Evaluate(req *EvaluateRequest) (*EvaluateResponse, error)
+	// epoch. The context carries observability (an attached obs.Trace
+	// collects per-phase spans); it does not cancel the request.
+	Evaluate(ctx context.Context, req *EvaluateRequest) (*EvaluateResponse, error)
 	// Mine runs one frequent-pattern mining job on the current epoch.
-	Mine(req *MineWire) (*MineResponse, error)
+	Mine(ctx context.Context, req *MineWire) (*MineResponse, error)
 	// Mutate applies a mutation batch and hands off a new snapshot epoch.
-	Mutate(req *MutateRequest) (*MutateResponse, error)
+	Mutate(ctx context.Context, req *MutateRequest) (*MutateResponse, error)
 	// Stats describes the serving state (epoch, graph dimensions, load).
-	Stats() (*StatsResponse, error)
+	Stats(ctx context.Context) (*StatsResponse, error)
 }
 
 // SessionAPI is the stateful half: warm mining sessions with server-side
@@ -79,12 +91,12 @@ type EngineAPI interface {
 type SessionAPI interface {
 	// OpenSession starts a warm mining session and returns its initial
 	// result.
-	OpenSession(req *OpenSessionRequest) (*SessionResponse, error)
+	OpenSession(ctx context.Context, req *OpenSessionRequest) (*SessionResponse, error)
 	// RefreshSession re-answers the session's mining question on the current
 	// epoch from incrementally maintained state.
-	RefreshSession(req *SessionRequest) (*SessionResponse, error)
+	RefreshSession(ctx context.Context, req *SessionRequest) (*SessionResponse, error)
 	// CloseSession releases the session's server-side state.
-	CloseSession(req *SessionRequest) (*CloseSessionResponse, error)
+	CloseSession(ctx context.Context, req *SessionRequest) (*CloseSessionResponse, error)
 }
 
 // Server serves one long-lived support.Engine to many concurrent clients:
@@ -104,6 +116,8 @@ type Server struct {
 	mineSem chan struct{}
 	// mineInFlight counts currently admitted mining jobs for Stats.
 	mineInFlight atomic.Int64
+	// log is the resolved Config.Logger.
+	log *slog.Logger
 	// now is the clock; tests override it to drive idle eviction.
 	now func() time.Time
 }
@@ -120,7 +134,11 @@ func New(eng *support.Engine, cfg Config) *Server {
 		cfg:      cfg,
 		source:   engineSource(eng),
 		sessions: newSessionManager(cfg.MaxSessions),
+		log:      cfg.Logger,
 		now:      time.Now, //gvet:ignore determinism injected session-TTL clock; timestamps gate eviction and never enter response bodies
+	}
+	if s.log == nil {
+		s.log = slog.Default()
 	}
 	if cfg.MaxMineInFlight > 0 {
 		s.mineSem = make(chan struct{}, cfg.MaxMineInFlight)
@@ -156,17 +174,22 @@ func (s *Server) EvictIdleSessions() int {
 	if s.cfg.SessionIdleTTL < 0 {
 		return 0
 	}
-	return s.sessions.evictIdle(s.now().Add(-s.cfg.SessionIdleTTL))
+	n := s.sessions.evictIdle(s.now().Add(-s.cfg.SessionIdleTTL))
+	mSessionsEvicted.Add(uint64(n))
+	return n
 }
 
 // admitMine blocks until the mining admission semaphore grants a slot and
-// returns the release function.
+// returns the release function. The wait — zero on the uncontended path — is
+// observed into the admission-wait histogram.
 func (s *Server) admitMine() func() {
 	if s.mineSem == nil {
 		s.mineInFlight.Add(1)
 		return func() { s.mineInFlight.Add(-1) }
 	}
+	t := obs.StartTimer()
 	s.mineSem <- struct{}{}
+	t.ObserveInto(mAdmissionWait)
 	s.mineInFlight.Add(1)
 	return func() {
 		s.mineInFlight.Add(-1)
@@ -176,12 +199,12 @@ func (s *Server) admitMine() func() {
 
 // Evaluate implements EngineAPI: one support evaluation on the current
 // epoch, snapshot-pinned (never blocked by writers).
-func (s *Server) Evaluate(req *EvaluateRequest) (*EvaluateResponse, error) {
+func (s *Server) Evaluate(ctx context.Context, req *EvaluateRequest) (*EvaluateResponse, error) {
 	p, err := req.Pattern.Pattern()
 	if err != nil {
 		return nil, badRequest(err)
 	}
-	resp, err := s.eng.Do(&support.Request{
+	resp, err := s.eng.DoContext(ctx, &support.Request{
 		Pattern:  p,
 		Measures: req.Measures,
 		Explain:  req.Explain,
@@ -195,7 +218,7 @@ func (s *Server) Evaluate(req *EvaluateRequest) (*EvaluateResponse, error) {
 
 // Mine implements EngineAPI: one admission-gated mining run on the current
 // epoch.
-func (s *Server) Mine(req *MineWire) (*MineResponse, error) {
+func (s *Server) Mine(ctx context.Context, req *MineWire) (*MineResponse, error) {
 	spec, err := req.MineSpec()
 	if err != nil {
 		return nil, badRequest(err)
@@ -203,7 +226,7 @@ func (s *Server) Mine(req *MineWire) (*MineResponse, error) {
 	spec.Workers = clampParallelism(spec.Workers, s.cfg.MaxParallelism)
 	release := s.admitMine()
 	defer release()
-	resp, err := s.eng.Do(&support.Request{
+	resp, err := s.eng.DoContext(ctx, &support.Request{
 		Mine:    spec,
 		Options: engineOptions(s.eng.Options(), req.Options, s.cfg.MaxParallelism),
 	})
@@ -220,7 +243,7 @@ func (s *Server) Mine(req *MineWire) (*MineResponse, error) {
 // it dirties no shard and reaches no mutation feed. Conflicting labels,
 // self loops and dangling edges fail the batch (mutations applied before
 // the failure are still published, as Engine.Update documents).
-func (s *Server) Mutate(req *MutateRequest) (*MutateResponse, error) {
+func (s *Server) Mutate(ctx context.Context, req *MutateRequest) (*MutateResponse, error) {
 	out := &MutateResponse{}
 	epoch, err := s.eng.Update(func(g *support.Graph) error {
 		for _, vw := range req.AddVertices {
@@ -272,19 +295,27 @@ func (s *Server) Mutate(req *MutateRequest) (*MutateResponse, error) {
 	return out, nil
 }
 
-// Stats implements EngineAPI.
-func (s *Server) Stats() (*StatsResponse, error) {
+// Stats implements EngineAPI. Alongside the current-state fields it reports
+// process-cumulative counts read from the metrics registry — monotone
+// counters, never timings, so the response body stays free of wall-clock
+// values (it is still load-dependent, unlike the epoch-deterministic /v1
+// request bodies).
+func (s *Server) Stats(ctx context.Context) (*StatsResponse, error) {
 	snap, epoch := s.eng.Current()
 	st := &StatsResponse{
-		Epoch:        epoch,
-		Source:       s.source,
-		Name:         snap.Name(),
-		Vertices:     snap.NumVertices(),
-		Edges:        snap.NumEdges(),
-		Shards:       snap.NumShards(),
-		ShardSize:    snap.ShardSize(),
-		Sessions:     s.sessions.count(),
-		MineInFlight: int(s.mineInFlight.Load()),
+		Epoch:            epoch,
+		Source:           s.source,
+		Name:             snap.Name(),
+		Vertices:         snap.NumVertices(),
+		Edges:            snap.NumEdges(),
+		Shards:           snap.NumShards(),
+		ShardSize:        snap.ShardSize(),
+		Sessions:         s.sessions.count(),
+		MineInFlight:     int(s.mineInFlight.Load()),
+		PageIns:          obs.Default.CounterValue("repro_store_page_ins_total"),
+		Evictions:        obs.Default.CounterValue("repro_store_evictions_total"),
+		SessionsEvicted:  obs.Default.CounterValue("repro_server_sessions_evicted_total"),
+		MutationsApplied: obs.Default.CounterValue("repro_graph_mutations_total"),
 	}
 	if rs, ok := s.eng.Residency(); ok {
 		st.Residency = rs.String()
@@ -295,7 +326,7 @@ func (s *Server) Stats() (*StatsResponse, error) {
 // OpenSession implements SessionAPI. The initial result is refreshed under
 // the engine's reader lock so the reported epoch is exactly the one the
 // result corresponds to.
-func (s *Server) OpenSession(req *OpenSessionRequest) (*SessionResponse, error) {
+func (s *Server) OpenSession(ctx context.Context, req *OpenSessionRequest) (*SessionResponse, error) {
 	spec, err := req.Mine.MineSpec()
 	if err != nil {
 		return nil, badRequest(err)
@@ -326,7 +357,7 @@ func (s *Server) OpenSession(req *OpenSessionRequest) (*SessionResponse, error) 
 
 // RefreshSession implements SessionAPI: one serialized, admission-gated
 // refresh of the named session.
-func (s *Server) RefreshSession(req *SessionRequest) (*SessionResponse, error) {
+func (s *Server) RefreshSession(ctx context.Context, req *SessionRequest) (*SessionResponse, error) {
 	ms, err := s.sessions.get(req.Session)
 	if err != nil {
 		return nil, statusError{http.StatusNotFound, err}
@@ -351,7 +382,7 @@ func (s *Server) RefreshSession(req *SessionRequest) (*SessionResponse, error) {
 }
 
 // CloseSession implements SessionAPI.
-func (s *Server) CloseSession(req *SessionRequest) (*CloseSessionResponse, error) {
+func (s *Server) CloseSession(ctx context.Context, req *SessionRequest) (*CloseSessionResponse, error) {
 	if err := s.sessions.close(req.Session); err != nil {
 		return nil, statusError{http.StatusNotFound, err}
 	}
@@ -384,59 +415,88 @@ func badRequest(err error) error { return statusError{http.StatusBadRequest, err
 //	DELETE /v1/sessions/{id}         (empty body)     -> CloseSessionResponse
 //	GET    /v1/stats                                  -> StatsResponse
 //	GET    /v1/healthz                                -> "ok"
+//	GET    /metrics                                   -> Prometheus text exposition
 //
 // Errors are an ErrorWire body with a 4xx/5xx status. Responses carry no
 // timing fields: a body is a pure function of (request, epoch), which is how
 // the tests compare remote answers byte-for-byte against in-process ones.
+// All timing observability lives on the other side of that boundary — the
+// /metrics exposition, the slow-query log, and per-request span trees.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
 		var req EvaluateRequest
-		handleJSON(w, r, &req, func() (any, error) { return s.Evaluate(&req) })
+		s.handleJSON(w, r, "evaluate", &req,
+			func(ctx context.Context) (any, error) { return s.Evaluate(ctx, &req) },
+			func() string { return s.explainFor(&req) })
 	})
 	mux.HandleFunc("POST /v1/mine", func(w http.ResponseWriter, r *http.Request) {
 		var req MineWire
-		handleJSON(w, r, &req, func() (any, error) { return s.Mine(&req) })
+		s.handleJSON(w, r, "mine", &req,
+			func(ctx context.Context) (any, error) { return s.Mine(ctx, &req) }, nil)
 	})
 	mux.HandleFunc("POST /v1/mutate", func(w http.ResponseWriter, r *http.Request) {
 		var req MutateRequest
-		handleJSON(w, r, &req, func() (any, error) { return s.Mutate(&req) })
+		s.handleJSON(w, r, "mutate", &req,
+			func(ctx context.Context) (any, error) { return s.Mutate(ctx, &req) }, nil)
 	})
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		var req OpenSessionRequest
-		handleJSON(w, r, &req, func() (any, error) { return s.OpenSession(&req) })
+		s.handleJSON(w, r, "session.open", &req,
+			func(ctx context.Context) (any, error) { return s.OpenSession(ctx, &req) }, nil)
 	})
 	mux.HandleFunc("POST /v1/sessions/{id}/refresh", func(w http.ResponseWriter, r *http.Request) {
 		req := SessionRequest{Session: r.PathValue("id")}
-		handleJSON(w, r, nil, func() (any, error) { return s.RefreshSession(&req) })
+		s.handleJSON(w, r, "session.refresh", nil,
+			func(ctx context.Context) (any, error) { return s.RefreshSession(ctx, &req) }, nil)
 	})
 	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		req := SessionRequest{Session: r.PathValue("id")}
-		handleJSON(w, r, nil, func() (any, error) { return s.CloseSession(&req) })
+		s.handleJSON(w, r, "session.close", nil,
+			func(ctx context.Context) (any, error) { return s.CloseSession(ctx, &req) }, nil)
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		handleJSON(w, r, nil, func() (any, error) { return s.Stats() })
+		s.handleJSON(w, r, "stats", nil,
+			func(ctx context.Context) (any, error) { return s.Stats(ctx) }, nil)
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.WritePrometheus(w, obs.Default)
+	})
 	return mux
 }
 
 // handleJSON decodes the request body into req (skipped when nil), invokes
-// the handler, and writes the JSON response or the mapped error.
-func handleJSON(w http.ResponseWriter, r *http.Request, req any, fn func() (any, error)) {
+// the handler with a fresh trace attached to the context, and writes the
+// JSON response or the mapped error. Requests that exceed the slow-query
+// threshold are logged with their span tree; plan, when non-nil, lazily
+// renders the chosen search plan for that log record (only ever invoked for
+// a slow query, so its cost is off the fast path entirely).
+func (s *Server) handleJSON(w http.ResponseWriter, r *http.Request, route string, req any, fn func(context.Context) (any, error), plan func() string) {
+	mHTTPRequests.Inc()
 	if req != nil {
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(req); err != nil {
+			mHTTPErrors.Inc()
 			writeError(w, statusError{http.StatusBadRequest, fmt.Errorf("decode: %w", err)})
 			return
 		}
 	}
-	resp, err := fn()
+	tr := obs.NewTrace(route)
+	t := obs.StartTimer()
+	resp, err := fn(obs.ContextWithTrace(r.Context(), tr))
+	elapsed := t.ObserveInto(mRequestSeconds)
+	tr.Finish()
+	if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
+		s.logSlow(r, route, elapsed, tr, plan)
+	}
 	if err != nil {
+		mHTTPErrors.Inc()
 		writeError(w, err)
 		return
 	}
@@ -444,6 +504,47 @@ func handleJSON(w http.ResponseWriter, r *http.Request, req any, fn func() (any,
 	// An encode failure here means the client hung up mid-body; there is no
 	// useful recovery.
 	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// logSlow emits one structured slow-query record: route, latency, the
+// request's span tree, and — for evaluations — the search plan the planner
+// chose for the pattern.
+func (s *Server) logSlow(r *http.Request, route string, elapsed time.Duration, tr *obs.Trace, plan func() string) {
+	mSlowQueries.Inc()
+	attrs := []any{
+		slog.String("route", route),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Duration("elapsed", elapsed),
+		slog.String("trace", tr.String()),
+	}
+	if plan != nil {
+		if p := plan(); p != "" {
+			attrs = append(attrs, slog.String("plan", p))
+		}
+	}
+	s.log.Warn("slow query", attrs...)
+}
+
+// explainFor compiles the search plan an evaluate request's pattern gets on
+// the current snapshot, for the slow-query log. Failures render as "" — the
+// request itself already reported them.
+func (s *Server) explainFor(req *EvaluateRequest) string {
+	p, err := req.Pattern.Pattern()
+	if err != nil {
+		return ""
+	}
+	opts := engineOptions(s.eng.Options(), req.Options, s.cfg.MaxParallelism)
+	snap, _ := s.eng.Current()
+	pe := support.ExplainPlan(snap, p, support.ContextOptions{
+		Parallelism:    opts.Parallelism,
+		DisablePlanner: opts.DisablePlanner,
+		DisableKernels: opts.DisableKernels,
+	})
+	if pe == nil {
+		return ""
+	}
+	return pe.String()
 }
 
 // writeError maps an error onto its HTTP status (500 unless the handler

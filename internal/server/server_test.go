@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -112,7 +113,7 @@ func TestHTTPEndpoints(t *testing.T) {
 		}
 
 		// The same question asked in-process must produce the same bytes.
-		er2, err := s.Evaluate(&EvaluateRequest{
+		er2, err := s.Evaluate(context.Background(), &EvaluateRequest{
 			Pattern:  PatternWire{Edge: []int{1, 2}},
 			Measures: []string{"MNI"},
 		})
@@ -467,13 +468,13 @@ func TestServingByteIdentical(t *testing.T) {
 			t.Fatal(err)
 		}
 		es := New(eeng, cfg)
-		ev, err := es.Evaluate(&evalReq)
+		ev, err := es.Evaluate(context.Background(), &evalReq)
 		if err != nil {
 			t.Fatal(err)
 		}
 		ev.Epoch = ep
 		expected[fmt.Sprintf("evaluate@%d", ep)] = encodeBody(t, ev)
-		mn, err := es.Mine(&mineReq)
+		mn, err := es.Mine(context.Background(), &mineReq)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -529,7 +530,7 @@ func TestAdmissionControl(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := s.Mine(&MineWire{MinSupport: 4, MaxPatternSize: 3}); err != nil {
+			if _, err := s.Mine(context.Background(), &MineWire{MinSupport: 4, MaxPatternSize: 3}); err != nil {
 				t.Errorf("mine: %v", err)
 			}
 		}()
@@ -575,11 +576,11 @@ func TestSessionCapAndEviction(t *testing.T) {
 	s.now = func() time.Time { return clock }
 
 	mine := MineWire{MinSupport: 4, MaxPatternSize: 3}
-	s1, err := s.OpenSession(&OpenSessionRequest{Mine: mine})
+	s1, err := s.OpenSession(context.Background(), &OpenSessionRequest{Mine: mine})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.OpenSession(&OpenSessionRequest{Mine: mine}); err != nil {
+	if _, err := s.OpenSession(context.Background(), &OpenSessionRequest{Mine: mine}); err != nil {
 		t.Fatal(err)
 	}
 	if g.OpenFeeds() <= base {
@@ -587,7 +588,7 @@ func TestSessionCapAndEviction(t *testing.T) {
 	}
 
 	// Third open must hit the cap with a Too Many Requests status.
-	_, err = s.OpenSession(&OpenSessionRequest{Mine: mine})
+	_, err = s.OpenSession(context.Background(), &OpenSessionRequest{Mine: mine})
 	se, ok := err.(statusError)
 	if !ok || se.code != http.StatusTooManyRequests {
 		t.Fatalf("over-cap open: %v, want 429 statusError", err)
@@ -600,19 +601,19 @@ func TestSessionCapAndEviction(t *testing.T) {
 
 	// Keep one session warm past the idle horizon; the other goes stale.
 	clock = clock.Add(59 * time.Second)
-	if _, err := s.RefreshSession(&SessionRequest{Session: s1.Session}); err != nil {
+	if _, err := s.RefreshSession(context.Background(), &SessionRequest{Session: s1.Session}); err != nil {
 		t.Fatal(err)
 	}
 	clock = clock.Add(2 * time.Second)
 	if n := s.EvictIdleSessions(); n != 1 {
 		t.Fatalf("evicted %d sessions, want exactly the stale one", n)
 	}
-	if _, err := s.RefreshSession(&SessionRequest{Session: s1.Session}); err != nil {
+	if _, err := s.RefreshSession(context.Background(), &SessionRequest{Session: s1.Session}); err != nil {
 		t.Fatalf("warm session evicted: %v", err)
 	}
 
 	// Closing the survivor returns the graph to its feed baseline.
-	if _, err := s.CloseSession(&SessionRequest{Session: s1.Session}); err != nil {
+	if _, err := s.CloseSession(context.Background(), &SessionRequest{Session: s1.Session}); err != nil {
 		t.Fatal(err)
 	}
 	if got := g.OpenFeeds(); got != base {

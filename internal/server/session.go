@@ -53,6 +53,7 @@ func (sm *sessionManager) open(sess *support.Session, now time.Time) (*managedSe
 	sm.seq++
 	ms := &managedSession{id: fmt.Sprintf("s%d", sm.seq), sess: sess, lastUsed: now}
 	sm.sessions[ms.id] = ms
+	mSessionsLive.Set(int64(len(sm.sessions)))
 	return ms, nil
 }
 
@@ -82,6 +83,7 @@ func (sm *sessionManager) close(id string) error {
 	sm.mu.Lock()
 	ms, ok := sm.sessions[id]
 	delete(sm.sessions, id)
+	mSessionsLive.Set(int64(len(sm.sessions)))
 	sm.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("server: unknown session %q", id)
@@ -111,6 +113,7 @@ func (sm *sessionManager) evictIdle(cutoff time.Time) int {
 			}
 		}
 	}
+	mSessionsLive.Set(int64(len(sm.sessions)))
 	sm.mu.Unlock()
 	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
 	for _, ms := range victims {
@@ -129,6 +132,7 @@ func (sm *sessionManager) closeAll() {
 		all = append(all, ms)
 	}
 	sm.sessions = make(map[string]*managedSession)
+	mSessionsLive.Set(0)
 	sm.mu.Unlock()
 	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
 	for _, ms := range all {

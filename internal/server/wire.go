@@ -264,6 +264,20 @@ type StatsResponse struct {
 	MineInFlight int `json:"mine_in_flight"`
 	// Residency is the store paging summary; empty unless store-backed.
 	Residency string `json:"residency,omitempty"`
+
+	// The remaining fields are process-cumulative counters sourced from the
+	// metrics registry — monotone counts, never timings. They describe the
+	// whole process since start, not the current epoch, so they are excluded
+	// from the byte-identical determinism guarantee of the other /v1 bodies.
+
+	// PageIns counts store shard segments mapped in on demand.
+	PageIns uint64 `json:"page_ins"`
+	// Evictions counts store shard segments evicted under residency pressure.
+	Evictions uint64 `json:"evictions"`
+	// SessionsEvicted counts sessions reclaimed by the idle-TTL janitor.
+	SessionsEvicted uint64 `json:"sessions_evicted"`
+	// MutationsApplied counts graph mutations applied process-wide.
+	MutationsApplied uint64 `json:"mutations_applied"`
 }
 
 // ErrorWire is the JSON body of every non-2xx response.

@@ -106,6 +106,8 @@ func (db *DB) replay() error {
 			}
 		}
 		db.pending += len(b.Muts)
+		mWALReplayedBatches.Inc()
+		mWALReplayedMutations.Add(uint64(len(b.Muts)))
 	}
 	return nil
 }

@@ -1,0 +1,34 @@
+package store
+
+import "repro/internal/obs"
+
+// The store layer's process-global metrics: shard residency (paging), the
+// incremental segment-rewrite commit path, and the mutation write-ahead log.
+// Counters accumulate across every store a process opens; the resident-bytes
+// gauge is maintained with signed deltas so independently opened stores sum
+// correctly. See the "Observability" section of docs/ARCHITECTURE.md for the
+// full catalogue.
+var (
+	mPageIns = obs.NewCounter("repro_store_page_ins_total",
+		"cold shard acquisitions that issued a page-in hint")
+	mEvictions = obs.NewCounter("repro_store_evictions_total",
+		"shards evicted to get back under the residency budget")
+	mResidentBytes = obs.NewGauge("repro_store_resident_bytes",
+		"bytes of mmapped shard data currently accounted resident, summed over open stores")
+	mSegmentsWritten = obs.NewCounter("repro_store_segments_written_total",
+		"segments encoded and fsynced by commits (dirty-shard rewrites)")
+	mSegmentsCarried = obs.NewCounter("repro_store_segments_carried_total",
+		"segments carried into a new manifest by reference (clean shards)")
+	mCommits = obs.NewCounter("repro_store_commits_total",
+		"manifest-swap commits completed (Write and WriteUpdate)")
+	mWALAppends = obs.NewCounter("repro_wal_appends_total",
+		"mutation batches appended to the write-ahead log")
+	mWALMutations = obs.NewCounter("repro_wal_mutations_total",
+		"mutations appended to the write-ahead log")
+	mWALFsync = obs.NewHistogram("repro_wal_fsync_seconds",
+		"write-ahead log fsync latency per appended batch", obs.LatencyBuckets)
+	mWALReplayedBatches = obs.NewCounter("repro_wal_replayed_batches_total",
+		"write-ahead log batches replayed during crash recovery")
+	mWALReplayedMutations = obs.NewCounter("repro_wal_replayed_mutations_total",
+		"mutations replayed from the write-ahead log during crash recovery")
+)

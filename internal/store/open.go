@@ -276,6 +276,9 @@ func (st *Store) Close() error {
 		return nil
 	}
 	st.closed = true
+	if st.res != nil {
+		st.res.release()
+	}
 	return st.closeMaps()
 }
 

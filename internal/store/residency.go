@@ -165,6 +165,8 @@ func (r *residency) AcquireShard(k int) {
 		sh.resident = true
 		r.resident += sh.bytes
 		r.pageIns++
+		mPageIns.Inc()
+		mResidentBytes.Add(sh.bytes)
 		r.evictOverBudget()
 	}
 }
@@ -215,6 +217,8 @@ func (r *residency) evictLocked(k int) {
 	sh.resident = false
 	r.resident -= sh.bytes
 	r.evicted++
+	mEvictions.Inc()
+	mResidentBytes.Add(-sh.bytes)
 }
 
 // evictAll drops every shard's pages and resets the accounting to cold; Open
@@ -228,7 +232,23 @@ func (r *residency) evictAll() {
 			if r.shards[i].resident {
 				r.shards[i].resident = false
 				r.resident -= r.shards[i].bytes
+				mResidentBytes.Add(-r.shards[i].bytes)
 			}
+		}
+	}
+}
+
+// release returns the manager's remaining resident accounting to the
+// process-wide gauge; Store.Close calls it so a closed store's shards stop
+// counting as resident. No madvise is issued — the unmap releases the pages.
+func (r *residency) release() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.shards {
+		if r.shards[i].resident {
+			r.shards[i].resident = false
+			r.resident -= r.shards[i].bytes
+			mResidentBytes.Add(-r.shards[i].bytes)
 		}
 	}
 }

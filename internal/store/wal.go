@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // WALFile is the name of the mutation write-ahead log inside a store
@@ -108,10 +109,14 @@ func (w *WAL) Append(muts []graph.Mutation) error {
 		w.broken = true
 		return ferr
 	}
+	t := obs.StartTimer()
 	if err := w.f.Sync(); err != nil {
 		w.broken = true
 		return fmt.Errorf("store: syncing WAL: %w", err)
 	}
+	t.ObserveInto(mWALFsync)
+	mWALAppends.Inc()
+	mWALMutations.Add(uint64(len(muts)))
 	return nil
 }
 

@@ -111,6 +111,9 @@ func WriteUpdate(snap *graph.Snapshot, dir string, prev *graph.Snapshot) (WriteS
 	}
 	stats.Epoch = epoch
 	collectGarbage(dir, man)
+	mCommits.Inc()
+	mSegmentsWritten.Add(uint64(stats.SegmentsWritten))
+	mSegmentsCarried.Add(uint64(stats.SegmentsCarried))
 	return stats, nil
 }
 

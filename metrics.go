@@ -1,0 +1,35 @@
+package support
+
+import "repro/internal/obs"
+
+// Engine-layer metrics. Request counters split by kind, per-phase latency
+// histograms mirroring the span taxonomy of DoContext (plan, enumerate,
+// aggregate, mine), and the epoch gauge — which tracks the most recently
+// published engine state in the process, the live serving engine in any
+// deployment that runs one.
+var (
+	mEpoch = obs.NewGauge("repro_engine_epoch",
+		"epoch of the most recently published engine state")
+	mRequests = obs.NewCounter("repro_engine_requests_total",
+		"requests answered by Engine.Do, across all kinds")
+	mEvaluations = obs.NewCounter("repro_engine_evaluations_total",
+		"pattern-evaluation requests answered")
+	mMines = obs.NewCounter("repro_engine_mines_total",
+		"mining requests answered")
+	mExplains = obs.NewCounter("repro_engine_explains_total",
+		"plan explanations compiled")
+	mUpdates = obs.NewCounter("repro_engine_updates_total",
+		"Engine.Update epoch handoffs published")
+	mPlanSeconds = obs.NewHistogram("repro_engine_plan_seconds",
+		"latency of the plan phase (search-plan compilation for Explain)", obs.LatencyBuckets)
+	mEnumerateSeconds = obs.NewHistogram("repro_engine_enumerate_seconds",
+		"latency of the enumerate phase (occurrence enumeration of an evaluation)", obs.LatencyBuckets)
+	mAggregateSeconds = obs.NewHistogram("repro_engine_aggregate_seconds",
+		"latency of the aggregate phase (measure evaluation over enumerated state)", obs.LatencyBuckets)
+	mMineSeconds = obs.NewHistogram("repro_engine_mine_seconds",
+		"end-to-end latency of a mining request", obs.LatencyBuckets)
+	mSessionOpens = obs.NewCounter("repro_session_opens_total",
+		"warm mining sessions opened on engines")
+	mSessionRefreshSeconds = obs.NewHistogram("repro_session_refresh_seconds",
+		"latency of Session.Refresh, including delta maintenance", obs.LatencyBuckets)
+)
